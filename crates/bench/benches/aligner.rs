@@ -1,0 +1,24 @@
+//! Criterion bench: throughput of the string-similarity aligner and of the full
+//! ontology-suite generation behind the Figure 12 workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdms_schema::PeerId;
+use pdms_workloads::{align_schemas, generate_ontology_suite, AlignerConfig, OntologySuiteConfig};
+
+fn bench_aligner(c: &mut Criterion) {
+    let suite = generate_ontology_suite(&OntologySuiteConfig::default());
+    let a = suite.catalog.peer_schema(PeerId(0)).clone();
+    let b = suite.catalog.peer_schema(PeerId(3)).clone();
+    c.bench_function("align_one_schema_pair", |bench| {
+        bench.iter(|| align_schemas(&a, &b, &AlignerConfig::default()))
+    });
+    let mut group = c.benchmark_group("ontology_suite");
+    group.sample_size(10);
+    group.bench_function("generate_full_suite", |bench| {
+        bench.iter(|| generate_ontology_suite(&OntologySuiteConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aligner);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: cost of cycle and parallel-path enumeration as a function of the
+//! probe TTL (cycle-length bound) on clustered topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdms_graph::{enumerate_cycles, enumerate_parallel_paths, GeneratorConfig};
+
+fn bench_cycle_enumeration(c: &mut Criterion) {
+    let graph = GeneratorConfig::small_world(30, 3, 0.2, 11).generate();
+    let mut group = c.benchmark_group("cycle_enumeration");
+    for &ttl in &[3usize, 4, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("cycles", ttl), &ttl, |b, &ttl| {
+            b.iter(|| enumerate_cycles(&graph, ttl))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_paths", ttl), &ttl, |b, &ttl| {
+            b.iter(|| enumerate_parallel_paths(&graph, ttl))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench (ablation): closed-form O(n) feedback-factor messages vs. naive
+//! 2^(n-1) enumeration — the design choice that keeps long cycles affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdms_factor::{Belief, Factor, VariableId};
+
+fn bench_feedback_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_factor_message");
+    for &n in &[4usize, 8, 12, 16, 20] {
+        let scope: Vec<VariableId> = (0..n).map(VariableId).collect();
+        let factor = Factor::feedback(scope, true, 0.1);
+        let incoming: Vec<Belief> = (0..n)
+            .map(|i| Belief::from_probability(0.3 + 0.4 * (i as f64 / n as f64)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &n, |b, _| {
+            b.iter(|| factor.message_to(0, &incoming))
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("naive_enumeration", n), &n, |b, _| {
+                b.iter(|| factor.message_by_enumeration(0, &incoming))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feedback_factor);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: OWL / alignment document parsing and serialisation throughput.
+//!
+//! The import path of the Section 5.2 tool has to read one OWL document per peer and
+//! one alignment document per mapping; this bench measures the cost of a full
+//! export → parse → import round trip of the ontology-alignment workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdms_rdf::{
+    export_catalog, import_catalog, parse_alignment, parse_ontology, AlignmentDoc, Ontology,
+};
+use pdms_workloads::{generate_ontology_suite, OntologySuiteConfig};
+
+fn bench_rdf_formats(c: &mut Criterion) {
+    let suite = generate_ontology_suite(&OntologySuiteConfig::default());
+    let export = export_catalog(&suite.catalog);
+
+    let mut group = c.benchmark_group("rdf_formats");
+    group.sample_size(20);
+
+    group.bench_function("export_catalog", |b| {
+        b.iter(|| export_catalog(&suite.catalog))
+    });
+
+    group.bench_function("parse_all_documents", |b| {
+        b.iter(|| {
+            let ontologies: Vec<Ontology> = export
+                .ontologies
+                .iter()
+                .map(|(name, xml)| parse_ontology(xml, name).expect("exported OWL parses"))
+                .collect();
+            let alignments: Vec<AlignmentDoc> = export
+                .alignments
+                .iter()
+                .map(|xml| parse_alignment(xml).expect("exported alignment parses"))
+                .collect();
+            (ontologies, alignments)
+        })
+    });
+
+    let ontologies: Vec<Ontology> = export
+        .ontologies
+        .iter()
+        .map(|(name, xml)| parse_ontology(xml, name).expect("exported OWL parses"))
+        .collect();
+    let alignments: Vec<AlignmentDoc> = export
+        .alignments
+        .iter()
+        .map(|xml| parse_alignment(xml).expect("exported alignment parses"))
+        .collect();
+    group.bench_function("import_catalog", |b| {
+        b.iter(|| import_catalog(&ontologies, &alignments).expect("import succeeds"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rdf_formats);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench (ablation): periodic vs. lazy schedule, and the cost of running the
+//! inference over the simulated network vs. the direct in-process iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdms_core::{
+    run_embedded, AnalysisConfig, CycleAnalysis, DecentralizedConfig, DecentralizedRun,
+    EmbeddedConfig, Granularity, MappingModel, ScheduleKind,
+};
+use pdms_workloads::intro_network;
+use std::collections::BTreeMap;
+
+fn bench_schedules(c: &mut Criterion) {
+    let (catalog, _) = intro_network();
+    let analysis = CycleAnalysis::analyze(&catalog, &AnalysisConfig::default());
+    let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, 0.1);
+    let priors = BTreeMap::new();
+    let mut group = c.benchmark_group("schedules");
+    group.sample_size(20);
+    group.bench_function("direct_embedded_iteration", |b| {
+        b.iter(|| {
+            run_embedded(
+                &model,
+                &priors,
+                0.6,
+                EmbeddedConfig {
+                    record_history: false,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("periodic_over_simulator", |b| {
+        b.iter(|| {
+            let mut run = DecentralizedRun::new(
+                &catalog,
+                &model,
+                &priors,
+                0.6,
+                DecentralizedConfig {
+                    rounds: 40,
+                    ..Default::default()
+                },
+            );
+            run.run()
+        })
+    });
+    group.bench_function("lazy_over_simulator", |b| {
+        b.iter(|| {
+            let mut run = DecentralizedRun::new(
+                &catalog,
+                &model,
+                &priors,
+                0.6,
+                DecentralizedConfig {
+                    schedule: ScheduleKind::Lazy {
+                        query_probability: 0.5,
+                    },
+                    rounds: 80,
+                    ..Default::default()
+                },
+            );
+            run.run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

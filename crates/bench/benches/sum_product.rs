@@ -1,0 +1,54 @@
+//! Criterion bench: cost of one loopy-BP iteration and of a full run as the mapping
+//! network grows (ring topologies of increasing size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdms_core::{run_embedded, AnalysisConfig, CycleAnalysis, EmbeddedConfig, Granularity, MappingModel};
+use pdms_factor::{run_sum_product, SumProductConfig};
+use pdms_workloads::simple_cycle;
+use std::collections::BTreeMap;
+
+fn bench_sum_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sum_product");
+    for &n in &[4usize, 8, 12, 16] {
+        let catalog = simple_cycle(n);
+        let analysis = CycleAnalysis::analyze(
+            &catalog,
+            &AnalysisConfig {
+                max_cycle_len: n + 1,
+                max_path_len: 2,
+                include_parallel_paths: false,
+            },
+        );
+        let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, 0.1);
+        let priors = BTreeMap::new();
+        group.bench_with_input(BenchmarkId::new("centralized_loopy_bp", n), &n, |b, _| {
+            let graph = model.global_factor_graph(&priors, 0.6);
+            b.iter(|| {
+                run_sum_product(
+                    &graph,
+                    SumProductConfig {
+                        record_history: false,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("embedded_message_passing", n), &n, |b, _| {
+            b.iter(|| {
+                run_embedded(
+                    &model,
+                    &priors,
+                    0.6,
+                    EmbeddedConfig {
+                        record_history: false,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sum_product);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Section 6 — comparison with the earlier cycle-voting heuristic (Chatty Web).
+//!
+//! Runs the probabilistic engine and the vote-counting baseline on the introductory
+//! example and reports how many correct mappings each wrongly condemns.
+
+use pdms_bench::{print_header, print_kv};
+use pdms_workloads::scenarios::baseline_comparison;
+
+fn main() {
+    let result = baseline_comparison();
+    print_header(
+        "Section 6",
+        "Probabilistic message passing vs. cycle-voting heuristic",
+        "introductory example, delta = 0.1, detection threshold 0.55",
+    );
+    for (label, value) in &result.notes {
+        print_kv(label, value);
+    }
+    println!();
+    println!(
+        "Expected (paper): the earlier heuristic disqualifies correct mappings that\n\
+         merely share a cycle with the faulty one, while the factor-graph approach\n\
+         infers the correct status of all five mappings."
+    );
+}

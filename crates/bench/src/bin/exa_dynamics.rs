@@ -1,0 +1,104 @@
+//! Evolving-network experiment: detection quality and maintenance cost under churn
+//! (Sections 4.4 and 7).
+//!
+//! A synthetic clustered PDMS is driven through a series of epochs. In every epoch a
+//! churn generator corrupts, repairs, drops and adds correspondences; the engine is
+//! re-run with the Section 4.4 prior carry-over, and the table reports precision,
+//! recall, posterior drift, and the per-round message cost of keeping the probabilistic
+//! network coherent — the trade-off the paper's conclusions single out as future work.
+//! The same schedule is then replayed without prior carry-over as an ablation.
+
+use pdms_bench::{print_header, print_kv, print_table, Series};
+use pdms_core::{DynamicPdms, DynamicsConfig};
+use pdms_graph::GeneratorConfig;
+use pdms_workloads::{ChurnConfig, ChurnGenerator, SyntheticConfig, SyntheticNetwork};
+
+const EPOCHS: usize = 8;
+
+fn run(update_priors: bool) -> Vec<(f64, f64, f64, f64, f64)> {
+    let network = SyntheticNetwork::generate(SyntheticConfig {
+        topology: GeneratorConfig::small_world(12, 2, 0.2, 42),
+        attributes: 10,
+        error_rate: 0.1,
+        seed: 7,
+    });
+    let mut pdms = DynamicPdms::new(
+        network.catalog,
+        DynamicsConfig {
+            update_priors,
+            ..Default::default()
+        },
+    );
+    let mut churn = ChurnGenerator::new(ChurnConfig {
+        corrupt_rate: 0.03,
+        repair_rate: 0.4,
+        drop_rate: 0.005,
+        new_mappings_per_epoch: 1.0,
+        new_mapping_error_rate: 0.2,
+        seed: 2006,
+    });
+    let mut rows = Vec::new();
+    for epoch in 0..EPOCHS {
+        if epoch > 0 {
+            let events = churn.epoch_events(pdms.catalog());
+            pdms.apply(&events);
+        }
+        let report = pdms.run_epoch();
+        rows.push((
+            epoch as f64,
+            report.evaluation.precision(),
+            report.evaluation.recall(),
+            report.posterior_drift,
+            report.messages_per_round as f64,
+        ));
+    }
+    rows
+}
+
+fn main() {
+    print_header(
+        "Sections 4.4 / 7",
+        "Detection quality and maintenance cost under churn",
+        "12 peers, 10 attributes, 10% initial errors, churn: corrupt 3%, repair 40%, +1 mapping/epoch",
+    );
+
+    let with_memory = run(true);
+    println!("with prior carry-over (Section 4.4 update):");
+    print_table(
+        "epoch",
+        &[
+            Series::new("precision", with_memory.iter().map(|r| (r.0, r.1)).collect()),
+            Series::new("recall", with_memory.iter().map(|r| (r.0, r.2)).collect()),
+            Series::new("drift", with_memory.iter().map(|r| (r.0, r.3)).collect()),
+            Series::new("msgs/round", with_memory.iter().map(|r| (r.0, r.4)).collect()),
+        ],
+    );
+    println!();
+
+    let memoryless = run(false);
+    println!("memory-less ablation (no prior update between epochs):");
+    print_table(
+        "epoch",
+        &[
+            Series::new("precision", memoryless.iter().map(|r| (r.0, r.1)).collect()),
+            Series::new("recall", memoryless.iter().map(|r| (r.0, r.2)).collect()),
+            Series::new("drift", memoryless.iter().map(|r| (r.0, r.3)).collect()),
+            Series::new("msgs/round", memoryless.iter().map(|r| (r.0, r.4)).collect()),
+        ],
+    );
+    println!();
+
+    let avg = |rows: &[(f64, f64, f64, f64, f64)], pick: fn(&(f64, f64, f64, f64, f64)) -> f64| {
+        rows.iter().map(pick).sum::<f64>() / rows.len() as f64
+    };
+    print_kv("mean precision, with memory", format!("{:.3}", avg(&with_memory, |r| r.1)));
+    print_kv("mean precision, memory-less", format!("{:.3}", avg(&memoryless, |r| r.1)));
+    print_kv("mean drift, with memory", format!("{:.3}", avg(&with_memory, |r| r.3)));
+    print_kv("mean drift, memory-less", format!("{:.3}", avg(&memoryless, |r| r.3)));
+    println!();
+    println!(
+        "Expected shape: detection quality stays high across epochs while the per-round\n\
+         message cost grows only when new mappings add evidence paths; prior carry-over\n\
+         damps the epoch-to-epoch posterior drift relative to the memory-less ablation."
+    );
+}

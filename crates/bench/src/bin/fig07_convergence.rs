@@ -1,0 +1,30 @@
+//! Figure 7 — convergence of the iterative message passing algorithm.
+//!
+//! Example factor graph (Figure 4), Δ = 0.1, priors at 0.7, feedback f1⁺, f2⁻, f3⁻.
+//! Prints the posterior of every Creator mapping variable per iteration.
+
+use pdms_bench::{print_header, print_kv, print_table, Series};
+use pdms_workloads::scenarios::figure7_convergence;
+
+fn main() {
+    let result = figure7_convergence(0.7, 0.1);
+    print_header(
+        "Figure 7",
+        "Convergence of iterative message passing (example graph)",
+        "priors = 0.7, delta = 0.1, feedback f1+, f2-, f3-",
+    );
+    let series: Vec<Series> = result
+        .series
+        .iter()
+        .map(|(label, points)| Series::new(label.clone(), points.clone()))
+        .collect();
+    print_table("iteration", &series);
+    for (label, value) in &result.notes {
+        print_kv(label, value);
+    }
+    println!();
+    println!(
+        "Expected shape (paper): posteriors stabilise within ~10 iterations; the faulty\n\
+         mapping m24 drops well below 0.5 while the four correct mappings rise above it."
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 9 — relative error of the embedded scheme vs. exact global inference for
+//! growing cycle lengths (Figure 8 construction).
+//!
+//! Δ = 0.1, priors at 0.8, feedback f1⁺, f2⁻, f3⁻, 10 iterations.
+
+use pdms_bench::{print_header, print_kv, print_table, Series};
+use pdms_workloads::scenarios::figure9_relative_error;
+
+fn main() {
+    let result = figure9_relative_error(8, 0.8, 0.1, 10);
+    print_header(
+        "Figure 9",
+        "Relative error of iterative message passing vs. exact inference",
+        "priors = 0.8, delta = 0.1, 10 iterations, peers added to the long cycle",
+    );
+    let series: Vec<Series> = result
+        .series
+        .iter()
+        .map(|(label, points)| Series::new(label.clone(), points.clone()))
+        .collect();
+    print_table("cycle length", &series);
+    for (label, value) in &result.notes {
+        print_kv(label, value);
+    }
+    println!();
+    println!(
+        "Expected shape (paper): the relative error is largest for the shortest cycles\n\
+         and never reaches 6%."
+    );
+}

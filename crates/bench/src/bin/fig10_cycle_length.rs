@@ -1,0 +1,30 @@
+//! Figure 10 — impact of the cycle length on the posterior probability, for a simple
+//! positive cycle of 2–20 mappings and three values of Δ.
+//!
+//! Priors at 0.5, positive feedback, 2 iterations (the factor graph is a tree).
+
+use pdms_bench::{print_header, print_kv, print_table, Series};
+use pdms_workloads::scenarios::figure10_cycle_length;
+
+fn main() {
+    let result = figure10_cycle_length(20, &[0.1, 0.05, 0.01]);
+    print_header(
+        "Figure 10",
+        "Impact of the cycle length on the posterior probability",
+        "single positive cycle, priors = 0.5, 2 iterations, delta in {0.1, 0.05, 0.01}",
+    );
+    let series: Vec<Series> = result
+        .series
+        .iter()
+        .map(|(label, points)| Series::new(label.clone(), points.clone()))
+        .collect();
+    print_table("cycle length", &series);
+    for (label, value) in &result.notes {
+        print_kv(label, value);
+    }
+    println!();
+    println!(
+        "Expected shape (paper): the posterior decays towards 0.5 as the cycle grows;\n\
+         cycles longer than ~10 mappings provide very little evidence even for small delta."
+    );
+}

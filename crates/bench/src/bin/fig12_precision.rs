@@ -1,0 +1,34 @@
+//! Figure 12 — precision of the message-passing approach with a varying threshold θ on
+//! the real-world-style schema workload (EON-substitute ontology alignment).
+//!
+//! Priors at 0.5, Δ = 0.1, one complete round of the algorithm, ~400 automatically
+//! generated attribute correspondences of which a realistic share is erroneous.
+
+use pdms_bench::{print_header, print_kv, print_table, Series};
+use pdms_workloads::scenarios::figure12_precision;
+
+fn main() {
+    let thetas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 0.9];
+    let result = figure12_precision(&thetas);
+    print_header(
+        "Figure 12",
+        "Precision of the message-passing approach vs. threshold",
+        "ontology-alignment workload (EON substitute), priors = 0.5, delta = 0.1",
+    );
+    let series: Vec<Series> = result
+        .series
+        .iter()
+        .map(|(label, points)| Series::new(label.clone(), points.clone()))
+        .collect();
+    print_table("theta", &series);
+    for (label, value) in &result.notes {
+        print_kv(label, value);
+    }
+    println!();
+    println!(
+        "Expected shape (paper): precision is highest (≈80%+) for low thresholds, then\n\
+         degrades as θ grows, with a phase transition around θ = 0.6 where roughly half\n\
+         of the erroneous mappings have been discovered; the approach stays well above\n\
+         random guessing even for high thresholds."
+    );
+}

@@ -1,0 +1,466 @@
+//! Discovery of evidence paths (cycles and parallel paths) and feedback extraction.
+//!
+//! The analysis mirrors what the peers of a real PDMS would do with TTL-bounded probe
+//! messages (Section 3.2.1): enumerate the mapping cycles and, in the directed case,
+//! the pairs of edge-disjoint parallel paths, then push every attribute of the origin
+//! schema through the transitive closure of the mappings involved and compare.
+//!
+//! The directed reading is used throughout: as the paper observes (end of Section 3.3),
+//! undirected and directed mapping networks produce structurally identical factor
+//! graphs, an undirected cycle simply showing up as either a directed cycle or a pair
+//! of parallel paths depending on the edge orientations.
+
+use crate::feedback::{Feedback, FeedbackObservation};
+use pdms_graph::{enumerate_cycles, enumerate_parallel_paths, DiGraph, NodeId};
+use pdms_schema::{AttributeId, Catalog, MappingId, PeerId};
+
+/// Where an evidence path comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceSource {
+    /// A directed mapping cycle; feedback is evaluated from `origin`'s schema.
+    Cycle {
+        /// The peer at which the cycle starts and ends.
+        origin: PeerId,
+    },
+    /// A pair of edge-disjoint directed paths sharing source and destination.
+    ParallelPaths {
+        /// Common source peer (whose schema provides the compared attributes).
+        source: PeerId,
+        /// Common destination peer (where the two translations are compared).
+        destination: PeerId,
+    },
+}
+
+/// One structural evidence path: the mappings of a cycle, or of both branches of a
+/// parallel-path pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidencePath {
+    /// Index of this evidence within the analysis.
+    pub id: usize,
+    /// Cycle or parallel paths.
+    pub source: EvidenceSource,
+    /// For a cycle: the mappings in traversal order. For parallel paths: the left
+    /// branch followed by the right branch (see `split` for the boundary).
+    pub mappings: Vec<MappingId>,
+    /// For parallel paths, the number of mappings belonging to the left branch;
+    /// `None` for cycles.
+    pub split: Option<usize>,
+}
+
+impl EvidencePath {
+    /// Number of mappings involved.
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// True when the path involves no mapping (never produced by the analysis).
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// True if the evidence involves the given mapping.
+    pub fn contains(&self, mapping: MappingId) -> bool {
+        self.mappings.contains(&mapping)
+    }
+}
+
+/// Configuration of the analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Maximum cycle length considered (the probe TTL). Section 5.1.2 argues 5–10 is
+    /// enough in practice because longer cycles carry almost no evidence.
+    pub max_cycle_len: usize,
+    /// Maximum length of each branch of a parallel-path pair.
+    pub max_path_len: usize,
+    /// Also enumerate parallel paths (directed networks). Disable for workloads that
+    /// only want cycle feedback.
+    pub include_parallel_paths: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            max_cycle_len: 6,
+            max_path_len: 4,
+            include_parallel_paths: true,
+        }
+    }
+}
+
+/// The result of analysing a catalog: the evidence paths and, per evidence and per
+/// origin attribute, the feedback observation.
+#[derive(Debug, Clone, Default)]
+pub struct CycleAnalysis {
+    /// All structural evidence paths found.
+    pub evidences: Vec<EvidencePath>,
+    /// All per-attribute observations (positive, negative and neutral).
+    pub observations: Vec<FeedbackObservation>,
+}
+
+impl CycleAnalysis {
+    /// Runs the analysis over a catalog.
+    pub fn analyze(catalog: &Catalog, config: &AnalysisConfig) -> Self {
+        let graph = build_topology(catalog);
+        let mut evidences = Vec::new();
+        // Directed cycles. Edge ids and mapping ids coincide by construction.
+        for cycle in enumerate_cycles(&graph, config.max_cycle_len) {
+            let origin = PeerId(cycle.nodes[0].0);
+            evidences.push(EvidencePath {
+                id: evidences.len(),
+                source: EvidenceSource::Cycle { origin },
+                mappings: cycle.edges.iter().map(|e| MappingId(e.0)).collect(),
+                split: None,
+            });
+        }
+        if config.include_parallel_paths {
+            for pp in enumerate_parallel_paths(&graph, config.max_path_len) {
+                let mut mappings: Vec<MappingId> = pp.left.iter().map(|e| MappingId(e.0)).collect();
+                let split = mappings.len();
+                mappings.extend(pp.right.iter().map(|e| MappingId(e.0)));
+                evidences.push(EvidencePath {
+                    id: evidences.len(),
+                    source: EvidenceSource::ParallelPaths {
+                        source: PeerId(pp.source.0),
+                        destination: PeerId(pp.destination.0),
+                    },
+                    mappings,
+                    split: Some(split),
+                });
+            }
+        }
+        let mut observations = Vec::new();
+        for evidence in &evidences {
+            observations.extend(observe(catalog, evidence));
+        }
+        Self {
+            evidences,
+            observations,
+        }
+    }
+
+    /// Observations that carry information (positive or negative feedback).
+    pub fn informative_observations(&self) -> impl Iterator<Item = &FeedbackObservation> {
+        self.observations.iter().filter(|o| o.feedback.is_informative())
+    }
+
+    /// Observations about a given mapping (any feedback sign).
+    pub fn observations_about(&self, mapping: MappingId) -> Vec<&FeedbackObservation> {
+        self.observations
+            .iter()
+            .filter(|o| o.mappings().any(|m| m == mapping) || o.dropped_by == Some(mapping))
+            .collect()
+    }
+
+    /// Evidence paths through a given mapping.
+    pub fn evidences_through(&self, mapping: MappingId) -> Vec<&EvidencePath> {
+        self.evidences.iter().filter(|e| e.contains(mapping)).collect()
+    }
+
+    /// Counts of (positive, negative, neutral) observations.
+    pub fn feedback_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for o in &self.observations {
+            match o.feedback {
+                Feedback::Positive => counts.0 += 1,
+                Feedback::Negative => counts.1 += 1,
+                Feedback::Neutral => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Builds the mapping-network topology of a catalog. Edge ids coincide with mapping ids.
+pub fn build_topology(catalog: &Catalog) -> DiGraph {
+    let mut graph = DiGraph::with_nodes(catalog.peer_count());
+    for (mapping, source, target) in catalog.edge_list() {
+        let edge = graph.add_edge(NodeId(source.0), NodeId(target.0));
+        debug_assert_eq!(edge.0, mapping.0, "edge ids must mirror mapping ids");
+    }
+    graph
+}
+
+/// Computes the feedback observations of one evidence path, one per attribute of the
+/// origin schema.
+fn observe(catalog: &Catalog, evidence: &EvidencePath) -> Vec<FeedbackObservation> {
+    match evidence.source {
+        EvidenceSource::Cycle { origin } => observe_cycle(catalog, evidence, origin),
+        EvidenceSource::ParallelPaths { source, .. } => observe_parallel(catalog, evidence, source),
+    }
+}
+
+/// Pushes `attribute` through a chain of mappings, recording `(mapping, input)` steps.
+/// Returns the steps plus the final attribute (or `None` if dropped, with the dropping
+/// mapping recorded as the last step).
+fn push_through(
+    catalog: &Catalog,
+    chain: &[MappingId],
+    attribute: AttributeId,
+) -> (Vec<(MappingId, AttributeId)>, Option<AttributeId>) {
+    let mut steps = Vec::with_capacity(chain.len());
+    let mut current = attribute;
+    for &mapping_id in chain {
+        let mapping = catalog.mapping(mapping_id);
+        steps.push((mapping_id, current));
+        match mapping.apply(current) {
+            Some(next) => current = next,
+            None => return (steps, None),
+        }
+    }
+    (steps, Some(current))
+}
+
+fn observe_cycle(catalog: &Catalog, evidence: &EvidencePath, origin: PeerId) -> Vec<FeedbackObservation> {
+    let schema = catalog.peer_schema(origin);
+    let mut out = Vec::with_capacity(schema.attribute_count());
+    for attr in schema.attributes() {
+        let (steps, returned) = push_through(catalog, &evidence.mappings, attr.id);
+        let feedback = Feedback::from_comparison(attr.id, returned);
+        let dropped_by = if returned.is_none() {
+            steps.last().map(|(m, _)| *m)
+        } else {
+            None
+        };
+        out.push(FeedbackObservation {
+            evidence: evidence.id,
+            origin_attribute: attr.id,
+            feedback,
+            steps,
+            dropped_by,
+        });
+    }
+    out
+}
+
+fn observe_parallel(catalog: &Catalog, evidence: &EvidencePath, source: PeerId) -> Vec<FeedbackObservation> {
+    let split = evidence.split.expect("parallel evidence has a split point");
+    let (left, right) = evidence.mappings.split_at(split);
+    let schema = catalog.peer_schema(source);
+    let mut out = Vec::with_capacity(schema.attribute_count());
+    for attr in schema.attributes() {
+        let (left_steps, left_result) = push_through(catalog, left, attr.id);
+        let (right_steps, right_result) = push_through(catalog, right, attr.id);
+        let feedback = Feedback::from_parallel(left_result, right_result);
+        let mut steps = left_steps;
+        steps.extend(right_steps);
+        let dropped_by = match (left_result, right_result) {
+            (None, _) | (_, None) => steps.last().map(|(m, _)| *m),
+            _ => None,
+        };
+        // For neutral parallel feedback the dropping mapping is whichever branch ended
+        // early; recompute it precisely.
+        let dropped_by = if feedback == Feedback::Neutral {
+            if left_result.is_none() {
+                left.get(steps.len().min(left.len()).saturating_sub(1)).copied().or(dropped_by)
+            } else {
+                dropped_by
+            }
+        } else {
+            None
+        };
+        out.push(FeedbackObservation {
+            evidence: evidence.id,
+            origin_attribute: attr.id,
+            feedback,
+            steps,
+            dropped_by,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdms_schema::AttributeId;
+
+    /// A three-peer directed ring where every schema has two attributes and every
+    /// mapping is correct for attribute 0 but drops attribute 1 at the last hop.
+    fn ring_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let peers: Vec<PeerId> = (0..3)
+            .map(|i| {
+                cat.add_peer_with_schema(format!("p{i}"), |s| {
+                    s.attributes(["alpha", "beta"]);
+                })
+            })
+            .collect();
+        for i in 0..3 {
+            let from = peers[i];
+            let to = peers[(i + 1) % 3];
+            cat.add_mapping(from, to, |m| {
+                let m = m.correct(AttributeId(0), AttributeId(0));
+                if i < 2 {
+                    m.correct(AttributeId(1), AttributeId(1))
+                } else {
+                    m
+                }
+            });
+        }
+        cat
+    }
+
+    /// Ring where one mapping misroutes attribute 0 to attribute 1.
+    fn faulty_ring_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let peers: Vec<PeerId> = (0..3)
+            .map(|i| {
+                cat.add_peer_with_schema(format!("p{i}"), |s| {
+                    s.attributes(["alpha", "beta"]);
+                })
+            })
+            .collect();
+        for i in 0..3 {
+            let from = peers[i];
+            let to = peers[(i + 1) % 3];
+            cat.add_mapping(from, to, |m| {
+                if i == 1 {
+                    m.erroneous(AttributeId(0), AttributeId(1), AttributeId(0))
+                        .correct(AttributeId(1), AttributeId(1))
+                } else {
+                    m.correct(AttributeId(0), AttributeId(0))
+                        .correct(AttributeId(1), AttributeId(1))
+                }
+            });
+        }
+        cat
+    }
+
+    #[test]
+    fn topology_mirrors_catalog() {
+        let cat = ring_catalog();
+        let g = build_topology(&cat);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn ring_produces_one_cycle_evidence() {
+        let cat = ring_catalog();
+        let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
+        assert_eq!(analysis.evidences.len(), 1);
+        assert_eq!(analysis.evidences[0].len(), 3);
+        assert!(matches!(
+            analysis.evidences[0].source,
+            EvidenceSource::Cycle { .. }
+        ));
+    }
+
+    #[test]
+    fn correct_cycle_gives_positive_feedback_and_drop_gives_neutral() {
+        let cat = ring_catalog();
+        let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
+        let (pos, neg, neutral) = analysis.feedback_counts();
+        // Attribute 0 survives the cycle (positive); attribute 1 is dropped by the last
+        // mapping (neutral). One cycle, two attributes.
+        assert_eq!((pos, neg, neutral), (1, 0, 1));
+        let neutral_obs = analysis
+            .observations
+            .iter()
+            .find(|o| o.feedback == Feedback::Neutral)
+            .unwrap();
+        assert_eq!(neutral_obs.dropped_by, Some(MappingId(2)));
+    }
+
+    #[test]
+    fn faulty_mapping_produces_negative_feedback() {
+        let cat = faulty_ring_catalog();
+        let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
+        let (pos, neg, _neutral) = analysis.feedback_counts();
+        // Attribute 0: the error at mapping 1 sends it to attribute 1, which then maps
+        // to attribute 1 at the origin -> negative. Attribute 1 survives -> positive.
+        assert_eq!(pos, 1);
+        assert_eq!(neg, 1);
+        let negative = analysis
+            .observations
+            .iter()
+            .find(|o| o.feedback == Feedback::Negative)
+            .unwrap();
+        assert_eq!(negative.origin_attribute, AttributeId(0));
+        assert_eq!(negative.steps.len(), 3);
+        // The second step hands attribute 0 to the faulty mapping, the third step hands
+        // the wrong attribute 1 onward.
+        assert_eq!(negative.steps[1], (MappingId(1), AttributeId(0)));
+        assert_eq!(negative.steps[2], (MappingId(2), AttributeId(1)));
+    }
+
+    #[test]
+    fn parallel_paths_are_detected_in_diamond_topologies() {
+        let mut cat = Catalog::new();
+        let peers: Vec<PeerId> = (0..4)
+            .map(|i| {
+                cat.add_peer_with_schema(format!("p{i}"), |s| {
+                    s.attributes(["alpha", "beta", "gamma"]);
+                })
+            })
+            .collect();
+        // p0 -> p1 -> p3 and p0 -> p2 -> p3, all correct for alpha.
+        for (a, b) in [(0, 1), (1, 3), (0, 2), (2, 3)] {
+            cat.add_mapping(peers[a], peers[b], |m| m.correct(AttributeId(0), AttributeId(0)));
+        }
+        let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
+        let parallel: Vec<&EvidencePath> = analysis
+            .evidences
+            .iter()
+            .filter(|e| matches!(e.source, EvidenceSource::ParallelPaths { .. }))
+            .collect();
+        assert_eq!(parallel.len(), 1);
+        assert_eq!(parallel[0].len(), 4);
+        // Alpha agrees on both branches -> positive; beta and gamma are dropped by the
+        // very first mappings -> neutral.
+        let obs: Vec<&FeedbackObservation> = analysis
+            .observations
+            .iter()
+            .filter(|o| o.evidence == parallel[0].id)
+            .collect();
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs.iter().filter(|o| o.feedback == Feedback::Positive).count(), 1);
+        assert_eq!(obs.iter().filter(|o| o.feedback == Feedback::Neutral).count(), 2);
+    }
+
+    #[test]
+    fn parallel_paths_disagreeing_give_negative_feedback() {
+        let mut cat = Catalog::new();
+        let peers: Vec<PeerId> = (0..3)
+            .map(|i| {
+                cat.add_peer_with_schema(format!("p{i}"), |s| {
+                    s.attributes(["alpha", "beta"]);
+                })
+            })
+            .collect();
+        // Two direct mappings p0 -> p1 that disagree on alpha, plus nothing else.
+        cat.add_mapping(peers[0], peers[1], |m| m.correct(AttributeId(0), AttributeId(0)));
+        cat.add_mapping(peers[0], peers[1], |m| {
+            m.erroneous(AttributeId(0), AttributeId(1), AttributeId(0))
+        });
+        let _ = peers[2];
+        let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
+        let (pos, neg, _) = analysis.feedback_counts();
+        assert_eq!(pos, 0);
+        assert_eq!(neg, 1);
+    }
+
+    #[test]
+    fn observations_about_a_mapping_include_drops() {
+        let cat = ring_catalog();
+        let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
+        let about_last = analysis.observations_about(MappingId(2));
+        // Both the positive observation (it participates) and the neutral one (it
+        // dropped the attribute) mention mapping 2.
+        assert_eq!(about_last.len(), 2);
+        assert_eq!(analysis.evidences_through(MappingId(2)).len(), 1);
+    }
+
+    #[test]
+    fn cycle_length_bound_is_respected() {
+        let cat = ring_catalog();
+        let analysis = CycleAnalysis::analyze(
+            &cat,
+            &AnalysisConfig {
+                max_cycle_len: 2,
+                ..Default::default()
+            },
+        );
+        assert!(analysis.evidences.is_empty());
+    }
+}

@@ -1,0 +1,501 @@
+//! Evolving mapping networks: the maintenance-versus-relevance trade-off (Sections 4.4
+//! and 7).
+//!
+//! PDMS are not static: mappings get created, corrupted, repaired and deleted as
+//! schemas evolve. The paper's prior-update rule (Section 4.4) exists precisely so the
+//! evidence gathered before a change is not thrown away, and its conclusions call out
+//! the "tradeoff between the efforts required to maintain the probabilistic network in
+//! a coherent state and the potential gain in terms of relevance of results" as an open
+//! question. This module provides the machinery to study that trade-off: a
+//! [`DynamicPdms`] owns an evolving catalog, applies [`NetworkEvent`]s, re-runs the
+//! inference engine epoch by epoch with prior carry-over, and records per-epoch
+//! detection quality, posterior drift, and maintenance cost.
+
+use crate::cycle_analysis::CycleAnalysis;
+use crate::engine::{Engine, EngineConfig};
+use crate::local_graph::MappingModel;
+use crate::metrics::EvaluationReport;
+use crate::overhead::communication_overhead;
+use crate::posterior::PosteriorTable;
+use crate::priors::PriorStore;
+use pdms_schema::{AttributeId, Catalog, MappingId, PeerId};
+
+/// One change applied to the mapping network between two epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkEvent {
+    /// A new mapping is declared between two existing peers. Each correspondence is
+    /// `(source attribute, proposed target, ground-truth target if known)`.
+    AddMapping {
+        /// Peer the mapping departs from.
+        source: PeerId,
+        /// Peer the mapping arrives at.
+        target: PeerId,
+        /// The attribute correspondences of the new mapping.
+        correspondences: Vec<(AttributeId, AttributeId, Option<AttributeId>)>,
+    },
+    /// An existing correspondence is corrupted: the attribute is re-routed to a wrong
+    /// target (the previous ground truth is preserved so the corruption is detectable).
+    Corrupt {
+        /// The mapping being corrupted.
+        mapping: MappingId,
+        /// The source attribute whose correspondence changes.
+        attribute: AttributeId,
+        /// The (wrong) target the attribute now maps to.
+        wrong_target: AttributeId,
+    },
+    /// A corrupted correspondence is repaired back to its ground-truth target. The
+    /// event is ignored when no ground truth is recorded.
+    Repair {
+        /// The mapping being repaired.
+        mapping: MappingId,
+        /// The source attribute to repair.
+        attribute: AttributeId,
+    },
+    /// A correspondence is deleted; the attribute becomes `⊥` under the mapping.
+    Drop {
+        /// The mapping losing a correspondence.
+        mapping: MappingId,
+        /// The source attribute dropped.
+        attribute: AttributeId,
+    },
+}
+
+/// Configuration of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicsConfig {
+    /// Detection threshold θ used for the per-epoch evaluation.
+    pub theta: f64,
+    /// Engine configuration used at every epoch.
+    pub engine: EngineConfig,
+    /// Whether posteriors are folded back into the priors after each epoch (the
+    /// Section 4.4 update). Disabling it gives the memory-less ablation.
+    pub update_priors: bool,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        Self {
+            theta: 0.5,
+            engine: EngineConfig::default(),
+            update_priors: true,
+        }
+    }
+}
+
+/// What one epoch (inference run over the current catalog) observed.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch index (0 for the first run).
+    pub epoch: usize,
+    /// Events applied since the previous epoch.
+    pub events_applied: usize,
+    /// Mappings in the catalog at this epoch.
+    pub mappings: usize,
+    /// Mappings whose ground truth says they contain at least one error.
+    pub erroneous_mappings: usize,
+    /// Evidence paths (cycles + parallel paths) discovered.
+    pub evidence_paths: usize,
+    /// Iterations used by the inference backend.
+    pub rounds: usize,
+    /// Detection quality at the configured θ.
+    pub evaluation: EvaluationReport,
+    /// Largest absolute posterior change relative to the previous epoch (0 for the
+    /// first epoch).
+    pub posterior_drift: f64,
+    /// Maintenance cost: belief messages per periodic round implied by the current
+    /// evidence structure.
+    pub messages_per_round: usize,
+}
+
+/// An evolving PDMS: catalog + accumulated priors + epoch history.
+#[derive(Debug, Clone)]
+pub struct DynamicPdms {
+    catalog: Catalog,
+    priors: PriorStore,
+    config: DynamicsConfig,
+    pending_events: usize,
+    previous_posteriors: Option<PosteriorTable>,
+    history: Vec<EpochReport>,
+}
+
+impl DynamicPdms {
+    /// Starts a dynamic run over an initial catalog with uninformed priors.
+    pub fn new(catalog: Catalog, config: DynamicsConfig) -> Self {
+        Self {
+            catalog,
+            priors: PriorStore::uninformed(),
+            config,
+            pending_events: 0,
+            previous_posteriors: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The current catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The accumulated prior store.
+    pub fn priors(&self) -> &PriorStore {
+        &self.priors
+    }
+
+    /// The per-epoch history so far.
+    pub fn history(&self) -> &[EpochReport] {
+        &self.history
+    }
+
+    /// Applies a batch of events to the catalog, returning how many actually changed
+    /// something (a repair without ground truth or a drop of a missing correspondence
+    /// does not count).
+    pub fn apply(&mut self, events: &[NetworkEvent]) -> usize {
+        let mut applied = 0usize;
+        for event in events {
+            if self.apply_one(event) {
+                applied += 1;
+            }
+        }
+        self.pending_events += applied;
+        applied
+    }
+
+    fn apply_one(&mut self, event: &NetworkEvent) -> bool {
+        match event {
+            NetworkEvent::AddMapping {
+                source,
+                target,
+                correspondences,
+            } => {
+                if correspondences.is_empty() {
+                    return false;
+                }
+                let correspondences = correspondences.clone();
+                self.catalog.add_mapping(*source, *target, |mut m| {
+                    for (source_attr, target_attr, expected) in &correspondences {
+                        m = match expected {
+                            Some(expected) if expected == target_attr => {
+                                m.correct(*source_attr, *target_attr)
+                            }
+                            Some(expected) => m.erroneous(*source_attr, *target_attr, *expected),
+                            None => m.unjudged(*source_attr, *target_attr),
+                        };
+                    }
+                    m
+                });
+                true
+            }
+            NetworkEvent::Corrupt {
+                mapping,
+                attribute,
+                wrong_target,
+            } => {
+                let current = self.catalog.mapping(*mapping).correspondences().find(|(a, _)| a == attribute).map(|(_, c)| *c);
+                let expected = match current {
+                    Some(c) => c.expected.or(Some(c.target)),
+                    // Corrupting a correspondence that does not exist yet: the ground
+                    // truth is unknown, record the proposal as wrong against nothing.
+                    None => None,
+                };
+                self.catalog
+                    .mapping_mut(*mapping)
+                    .set_correspondence(*attribute, *wrong_target, expected);
+                true
+            }
+            NetworkEvent::Repair { mapping, attribute } => {
+                let expected = self
+                    .catalog
+                    .mapping(*mapping)
+                    .correspondences()
+                    .find(|(a, _)| a == attribute)
+                    .and_then(|(_, c)| c.expected);
+                match expected {
+                    Some(expected) => {
+                        self.catalog
+                            .mapping_mut(*mapping)
+                            .set_correspondence(*attribute, expected, Some(expected));
+                        true
+                    }
+                    None => false,
+                }
+            }
+            NetworkEvent::Drop { mapping, attribute } => self
+                .catalog
+                .mapping_mut(*mapping)
+                .remove_correspondence(*attribute),
+        }
+    }
+
+    /// Runs one inference epoch over the current catalog: cycle analysis, inference with
+    /// the accumulated priors, evaluation at θ, and (optionally) the Section 4.4 prior
+    /// update. Returns the epoch report (also appended to [`DynamicPdms::history`]).
+    pub fn run_epoch(&mut self) -> &EpochReport {
+        let mut engine = Engine::with_priors(
+            self.catalog.clone(),
+            self.config.engine.clone(),
+            self.priors.clone(),
+        );
+        let report = engine.run();
+        let evaluation = engine.evaluate(&report, self.config.theta);
+
+        // Maintenance cost of the current evidence structure.
+        let analysis: &CycleAnalysis = &report.analysis;
+        let model: &MappingModel = &report.model;
+        let overhead = communication_overhead(&self.catalog, analysis, model);
+
+        // Posterior drift against the previous epoch.
+        let drift = match &self.previous_posteriors {
+            Some(previous) => max_drift(previous, &report.posteriors),
+            None => 0.0,
+        };
+
+        // Prior carry-over.
+        if self.config.update_priors {
+            let as_map = report.posteriors.as_variable_map(model);
+            self.priors.update_all(&as_map);
+        }
+
+        let epoch = EpochReport {
+            epoch: self.history.len(),
+            events_applied: self.pending_events,
+            mappings: self.catalog.mapping_count(),
+            erroneous_mappings: self.catalog.erroneous_mapping_count(),
+            evidence_paths: report.analysis.evidences.len(),
+            rounds: report.rounds,
+            evaluation,
+            posterior_drift: drift,
+            messages_per_round: overhead.total_messages_per_round,
+        };
+        self.pending_events = 0;
+        self.previous_posteriors = Some(report.posteriors);
+        self.history.push(epoch);
+        self.history.last().expect("just pushed")
+    }
+}
+
+fn max_drift(previous: &PosteriorTable, current: &PosteriorTable) -> f64 {
+    let mut drift = 0.0f64;
+    for (mapping, attribute, p) in current.fine_entries() {
+        let q = previous.probability_ignoring_bottom(mapping, attribute);
+        drift = drift.max((p - q).abs());
+    }
+    for (mapping, attribute, q) in previous.fine_entries() {
+        let p = current.probability_ignoring_bottom(mapping, attribute);
+        drift = drift.max((p - q).abs());
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clean four-peer ring plus a chord: plenty of cycle evidence, no errors.
+    fn clean_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let peers: Vec<PeerId> = (0..4)
+            .map(|i| {
+                cat.add_peer_with_schema(format!("p{i}"), |s| {
+                    s.attributes([
+                        "Creator", "Item", "CreatedOn", "Title", "Subject", "Medium", "Height",
+                        "Width", "Location", "Owner", "Licence",
+                    ]);
+                })
+            })
+            .collect();
+        let correct = |m: pdms_schema::MappingBuilder| {
+            let mut m = m;
+            for a in 0..11 {
+                m = m.correct(AttributeId(a), AttributeId(a));
+            }
+            m
+        };
+        cat.add_mapping(peers[0], peers[1], correct);
+        cat.add_mapping(peers[1], peers[2], correct);
+        cat.add_mapping(peers[2], peers[3], correct);
+        cat.add_mapping(peers[3], peers[0], correct);
+        cat.add_mapping(peers[1], peers[3], correct);
+        cat
+    }
+
+    #[test]
+    fn corruption_is_detected_in_the_next_epoch_and_repair_clears_it() {
+        // Prior carry-over is disabled here so the corrupted epoch is judged on its own
+        // evidence; the interaction between saturated carried-over priors and fresh
+        // negative evidence is exercised separately below.
+        let mut pdms = DynamicPdms::new(
+            clean_catalog(),
+            DynamicsConfig {
+                update_priors: false,
+                ..Default::default()
+            },
+        );
+        let baseline = pdms.run_epoch().clone();
+        assert_eq!(baseline.erroneous_mappings, 0);
+        assert_eq!(baseline.evaluation.flagged(), 0);
+        assert_eq!(baseline.posterior_drift, 0.0);
+
+        // Corrupt Creator on the chord mapping m4 (p1 → p3).
+        let applied = pdms.apply(&[NetworkEvent::Corrupt {
+            mapping: MappingId(4),
+            attribute: AttributeId(0),
+            wrong_target: AttributeId(2),
+        }]);
+        assert_eq!(applied, 1);
+        let corrupted = pdms.run_epoch().clone();
+        assert_eq!(corrupted.events_applied, 1);
+        assert_eq!(corrupted.erroneous_mappings, 1);
+        assert_eq!(corrupted.evaluation.true_positives, 1);
+        assert_eq!(corrupted.evaluation.false_positives, 0);
+        assert!(corrupted.posterior_drift > 0.1, "drift {}", corrupted.posterior_drift);
+
+        // Repair it; the error disappears from the ground truth and the posterior
+        // recovers (the prior keeps some memory of the accusation, so recovery is
+        // gradual rather than instantaneous).
+        let applied = pdms.apply(&[NetworkEvent::Repair {
+            mapping: MappingId(4),
+            attribute: AttributeId(0),
+        }]);
+        assert_eq!(applied, 1);
+        let repaired = pdms.run_epoch().clone();
+        assert_eq!(repaired.erroneous_mappings, 0);
+        assert_eq!(repaired.evaluation.true_positives, 0);
+        assert!(repaired.posterior_drift > 0.0);
+        assert_eq!(pdms.history().len(), 3);
+    }
+
+    #[test]
+    fn adding_a_mapping_creates_new_evidence_and_raises_maintenance_cost() {
+        let mut pdms = DynamicPdms::new(clean_catalog(), DynamicsConfig::default());
+        let before = pdms.run_epoch().clone();
+        let correspondences: Vec<_> = (0..11)
+            .map(|a| (AttributeId(a), AttributeId(a), Some(AttributeId(a))))
+            .collect();
+        pdms.apply(&[NetworkEvent::AddMapping {
+            source: PeerId(2),
+            target: PeerId(0),
+            correspondences,
+        }]);
+        let after = pdms.run_epoch().clone();
+        assert_eq!(after.mappings, before.mappings + 1);
+        assert!(after.evidence_paths > before.evidence_paths);
+        assert!(after.messages_per_round >= before.messages_per_round);
+    }
+
+    #[test]
+    fn dropping_a_correspondence_is_idempotent() {
+        let mut pdms = DynamicPdms::new(clean_catalog(), DynamicsConfig::default());
+        let drop = NetworkEvent::Drop {
+            mapping: MappingId(0),
+            attribute: AttributeId(5),
+        };
+        assert_eq!(pdms.apply(&[drop.clone()]), 1);
+        assert_eq!(pdms.apply(&[drop]), 0, "second drop finds nothing to remove");
+        assert_eq!(
+            pdms.catalog().mapping(MappingId(0)).apply(AttributeId(5)),
+            None
+        );
+    }
+
+    #[test]
+    fn repair_without_ground_truth_is_ignored() {
+        let mut cat = Catalog::new();
+        let a = cat.add_peer_with_schema("a", |s| {
+            s.attributes(["x", "y"]);
+        });
+        let b = cat.add_peer_with_schema("b", |s| {
+            s.attributes(["x", "y"]);
+        });
+        cat.add_mapping(a, b, |m| m.unjudged(AttributeId(0), AttributeId(1)));
+        let mut pdms = DynamicPdms::new(cat, DynamicsConfig::default());
+        let applied = pdms.apply(&[NetworkEvent::Repair {
+            mapping: MappingId(0),
+            attribute: AttributeId(0),
+        }]);
+        assert_eq!(applied, 0);
+        // Adding an empty mapping is also a no-op.
+        let applied = pdms.apply(&[NetworkEvent::AddMapping {
+            source: PeerId(0),
+            target: PeerId(1),
+            correspondences: Vec::new(),
+        }]);
+        assert_eq!(applied, 0);
+    }
+
+    #[test]
+    fn prior_carry_over_remembers_the_accusation_after_a_repair() {
+        // Observe the network while it is corrupted, repair it, observe again: the
+        // Section 4.4 update folds the accusation into the prior, so the prior stays
+        // below the maximum-entropy value even though the repaired epoch's evidence is
+        // all positive — the memory the paper's maintenance/relevance discussion is
+        // about. The memory-less ablation (update_priors = false) never moves the prior
+        // at all.
+        let mut pdms = DynamicPdms::new(clean_catalog(), DynamicsConfig::default());
+        pdms.apply(&[NetworkEvent::Corrupt {
+            mapping: MappingId(4),
+            attribute: AttributeId(0),
+            wrong_target: AttributeId(2),
+        }]);
+        let corrupted = pdms.run_epoch().clone();
+        assert_eq!(corrupted.evaluation.true_positives, 1);
+        let key = crate::local_graph::VariableKey {
+            mapping: MappingId(4),
+            attribute: Some(AttributeId(0)),
+        };
+        let prior_after_accusation = pdms.priors().prior(&key);
+        assert!(prior_after_accusation < 0.5, "prior {prior_after_accusation}");
+
+        pdms.apply(&[NetworkEvent::Repair {
+            mapping: MappingId(4),
+            attribute: AttributeId(0),
+        }]);
+        let repaired = pdms.run_epoch().clone();
+        assert_eq!(repaired.erroneous_mappings, 0);
+        // The posterior recovers (all evidence is positive again)…
+        let recovered = pdms
+            .previous_posteriors
+            .as_ref()
+            .expect("two epochs ran")
+            .probability_ignoring_bottom(MappingId(4), AttributeId(0));
+        assert!(recovered > 0.5, "recovered posterior {recovered}");
+        // …while the prior, a running average over both epochs, still remembers the
+        // accusation: it sits strictly below the posterior it would have adopted had
+        // the corrupted epoch never happened.
+        let prior_after_repair = pdms.priors().prior(&key);
+        assert!(prior_after_repair > prior_after_accusation);
+        assert!(prior_after_repair < recovered);
+
+        // Memory-less ablation: the prior never moves.
+        let mut ablation = DynamicPdms::new(
+            clean_catalog(),
+            DynamicsConfig {
+                update_priors: false,
+                ..Default::default()
+            },
+        );
+        ablation.run_epoch();
+        assert_eq!(ablation.priors().prior(&key), 0.5);
+    }
+
+    #[test]
+    fn epoch_indices_and_event_counters_advance() {
+        let mut pdms = DynamicPdms::new(clean_catalog(), DynamicsConfig::default());
+        pdms.run_epoch();
+        pdms.apply(&[
+            NetworkEvent::Drop {
+                mapping: MappingId(0),
+                attribute: AttributeId(1),
+            },
+            NetworkEvent::Drop {
+                mapping: MappingId(1),
+                attribute: AttributeId(1),
+            },
+        ]);
+        pdms.run_epoch();
+        let history = pdms.history();
+        assert_eq!(history[0].epoch, 0);
+        assert_eq!(history[1].epoch, 1);
+        assert_eq!(history[0].events_applied, 0);
+        assert_eq!(history[1].events_applied, 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Feedback: the observations extracted from cycles and parallel paths.
+//!
+//! Comparing an attribute `ai` of the original query with the attribute `aj` produced
+//! by the transitive closure of the mappings of a cycle (or by the second branch of a
+//! pair of parallel paths) yields one of three observations (Section 3.2.1):
+//!
+//! * `aj = ai` — **positive** feedback on the mappings of the cycle;
+//! * `aj ≠ ai` — **negative** feedback;
+//! * `aj = ⊥`  — **neutral**: some mapping had no correspondence; no factor is created,
+//!   but the information is kept because a mapping that drops the attribute gets
+//!   probability zero for that attribute during routing (Section 3.2.1, last case).
+
+use pdms_schema::{AttributeId, MappingId};
+
+/// The three possible comparisons of the original and the returned attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feedback {
+    /// The attribute came back unchanged: evidence that all mappings of the path agree.
+    Positive,
+    /// The attribute came back as a different attribute: at least one mapping disagrees.
+    Negative,
+    /// The attribute was dropped along the way; no semantic evidence either way.
+    Neutral,
+}
+
+impl Feedback {
+    /// True when the observation creates a factor in the probabilistic model.
+    pub fn is_informative(&self) -> bool {
+        !matches!(self, Feedback::Neutral)
+    }
+
+    /// True for positive feedback.
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Feedback::Positive)
+    }
+
+    /// Compares the original attribute with an optional returned attribute.
+    pub fn from_comparison(original: AttributeId, returned: Option<AttributeId>) -> Self {
+        match returned {
+            Some(a) if a == original => Feedback::Positive,
+            Some(_) => Feedback::Negative,
+            None => Feedback::Neutral,
+        }
+    }
+
+    /// Compares the two endpoints of a pair of parallel paths: positive when both
+    /// branches agree on a concrete attribute, negative when they disagree, neutral
+    /// when either branch dropped the attribute.
+    pub fn from_parallel(left: Option<AttributeId>, right: Option<AttributeId>) -> Self {
+        match (left, right) {
+            (Some(a), Some(b)) if a == b => Feedback::Positive,
+            (Some(_), Some(_)) => Feedback::Negative,
+            _ => Feedback::Neutral,
+        }
+    }
+}
+
+/// One observation: the feedback obtained for one attribute over one evidence path.
+///
+/// Besides the sign, the observation records *which attribute each mapping was asked
+/// to translate* along the path (`steps`). This is what the fine-granularity mode of
+/// Section 4.1 needs: the factor for this observation connects the per-attribute
+/// mapping variables `(mapping, attribute fed into it)`, so two observations reinforce
+/// each other exactly when they exercise the same mapping on the same concept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackObservation {
+    /// Index of the evidence path (cycle or parallel-path pair) in the
+    /// [`crate::cycle_analysis::CycleAnalysis`] that produced it.
+    pub evidence: usize,
+    /// The attribute (of the evidence origin's schema) the observation refers to.
+    pub origin_attribute: AttributeId,
+    /// The observation.
+    pub feedback: Feedback,
+    /// `(mapping, attribute handed to that mapping)` for every step actually taken.
+    /// For neutral feedback the list stops at the mapping that dropped the attribute.
+    pub steps: Vec<(MappingId, AttributeId)>,
+    /// The mapping that had no correspondence for the attribute, when feedback is
+    /// neutral. Routing treats that mapping as having probability zero of preserving
+    /// this attribute (Section 3.2.1).
+    pub dropped_by: Option<MappingId>,
+}
+
+impl FeedbackObservation {
+    /// Number of mappings involved in the steps actually taken.
+    pub fn mapping_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The mappings of the observation, in path order.
+    pub fn mappings(&self) -> impl Iterator<Item = MappingId> + '_ {
+        self.steps.iter().map(|(m, _)| *m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_covers_all_cases() {
+        let a = AttributeId(3);
+        assert_eq!(Feedback::from_comparison(a, Some(AttributeId(3))), Feedback::Positive);
+        assert_eq!(Feedback::from_comparison(a, Some(AttributeId(5))), Feedback::Negative);
+        assert_eq!(Feedback::from_comparison(a, None), Feedback::Neutral);
+    }
+
+    #[test]
+    fn parallel_comparison_covers_all_cases() {
+        let a = Some(AttributeId(1));
+        let b = Some(AttributeId(2));
+        assert_eq!(Feedback::from_parallel(a, a), Feedback::Positive);
+        assert_eq!(Feedback::from_parallel(a, b), Feedback::Negative);
+        assert_eq!(Feedback::from_parallel(a, None), Feedback::Neutral);
+        assert_eq!(Feedback::from_parallel(None, None), Feedback::Neutral);
+    }
+
+    #[test]
+    fn informativeness() {
+        assert!(Feedback::Positive.is_informative());
+        assert!(Feedback::Negative.is_informative());
+        assert!(!Feedback::Neutral.is_informative());
+        assert!(Feedback::Positive.is_positive());
+        assert!(!Feedback::Negative.is_positive());
+    }
+
+    #[test]
+    fn observation_reports_mapping_count() {
+        let obs = FeedbackObservation {
+            evidence: 0,
+            origin_attribute: AttributeId(0),
+            feedback: Feedback::Positive,
+            steps: vec![
+                (MappingId(0), AttributeId(0)),
+                (MappingId(1), AttributeId(4)),
+                (MappingId(2), AttributeId(7)),
+            ],
+            dropped_by: None,
+        };
+        assert_eq!(obs.mapping_count(), 3);
+        assert_eq!(
+            obs.mappings().collect::<Vec<_>>(),
+            vec![MappingId(0), MappingId(1), MappingId(2)]
+        );
+    }
+}

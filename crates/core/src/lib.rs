@@ -1,0 +1,69 @@
+//! Core contribution of the paper: probabilistic message passing for assessing the
+//! quality of schema mappings in Peer Data Management Systems.
+//!
+//! Given a catalog of peers, schemas and (possibly faulty) mappings, the engine in this
+//! crate
+//!
+//! 1. enumerates mapping **cycles** and **parallel paths** up to a TTL bound
+//!    ([`cycle_analysis`]),
+//! 2. computes per-attribute **feedback** (positive / negative / neutral) by pushing the
+//!    attribute through the transitive closure of the mappings involved ([`feedback`]),
+//! 3. builds, for each peer, the **local factor graph** of Section 4.1 covering its
+//!    outgoing mappings ([`local_graph`]),
+//! 4. runs the **embedded message-passing** equations of Section 4.3 — either as a
+//!    centralized reference computation or decentralized over the simulator with a
+//!    periodic or lazy (piggybacked) schedule ([`embedded`], [`schedules`]),
+//! 5. updates **prior beliefs** with the EM-style running average of Section 4.4
+//!    ([`priors`]),
+//! 6. exposes posterior mapping-quality estimates and uses them for **query routing**
+//!    with per-attribute thresholds θ ([`posterior`], [`routing`]),
+//! 7. and evaluates the result against ground truth ([`metrics`]), including the
+//!    centralized-exact and cycle-voting **baselines** ([`baseline_exact`],
+//!    [`baseline_voting`]).
+//!
+//! On top of that pipeline the crate also provides the paper's operational extensions:
+//! the adaptive probe-TTL expansion of Section 5.1.2 ([`ttl_expansion`]), the
+//! communication-overhead accounting of Section 4.3.1 ([`overhead`]), and the evolving-
+//! network machinery behind the Section 4.4 prior updates and the Section 7
+//! maintenance-versus-relevance discussion ([`dynamics`]).
+//!
+//! The [`engine::Engine`] type ties the steps together behind one façade; the
+//! `pdms-workloads` crate produces catalogs to feed it and `pdms-bench` regenerates
+//! every figure of the paper's evaluation section on top of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline_exact;
+pub mod baseline_voting;
+pub mod cycle_analysis;
+pub mod delta;
+pub mod dynamics;
+pub mod embedded;
+pub mod engine;
+pub mod feedback;
+pub mod local_graph;
+pub mod metrics;
+pub mod overhead;
+pub mod posterior;
+pub mod priors;
+pub mod routing;
+pub mod schedules;
+pub mod ttl_expansion;
+
+pub use baseline_exact::{exact_posterior_table, exact_posteriors, mean_relative_error, relative_errors};
+pub use baseline_voting::VotingBaseline;
+pub use cycle_analysis::{AnalysisConfig, CycleAnalysis, EvidencePath, EvidenceSource};
+pub use delta::{estimate_delta, estimate_delta_for_sizes, DEFAULT_DELTA};
+pub use dynamics::{DynamicPdms, DynamicsConfig, EpochReport, NetworkEvent};
+pub use embedded::{run_embedded, EmbeddedConfig, EmbeddedMessagePassing, EmbeddedReport};
+pub use engine::{Engine, EngineConfig, EngineReport, InferenceMethod};
+pub use feedback::{Feedback, FeedbackObservation};
+pub use local_graph::{Granularity, MappingModel, ModelEvidence, VariableKey};
+pub use metrics::{precision_recall, DetectionOutcome, EvaluationReport};
+pub use overhead::{communication_overhead, OverheadReport, PeerOverhead};
+pub use posterior::PosteriorTable;
+pub use priors::PriorStore;
+pub use routing::{route_query, RoutingDecision, RoutingOutcome, RoutingPolicy};
+pub use schedules::{DecentralizedConfig, DecentralizedRun, PeerInferenceLogic, ScheduleKind};
+pub use ttl_expansion::{expand_ttl, expand_ttl_with_priors, TtlExpansionConfig, TtlExpansionReport, TtlExpansionStep};

@@ -1,0 +1,218 @@
+//! Evaluation metrics: precision and recall of erroneous-mapping detection.
+//!
+//! Figure 12 reports the *precision* of the approach on the real-world schemas: the
+//! fraction of mappings flagged as erroneous (posterior below θ) that are genuinely
+//! erroneous according to a human judge. The paper also reports that at the
+//! phase-transition threshold about half of the erroneous mappings have been found,
+//! which is the *recall*. Ground truth comes from the catalog's mapping tables.
+
+use crate::posterior::PosteriorTable;
+use pdms_schema::{AttributeId, Catalog, MappingId};
+
+/// Classification outcome of one `(mapping, attribute)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionOutcome {
+    /// Flagged erroneous and genuinely erroneous.
+    TruePositive,
+    /// Flagged erroneous but actually correct.
+    FalsePositive,
+    /// Not flagged and genuinely correct.
+    TrueNegative,
+    /// Not flagged although erroneous.
+    FalseNegative,
+}
+
+/// Aggregated evaluation of a detection run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvaluationReport {
+    /// Count of true positives.
+    pub true_positives: usize,
+    /// Count of false positives.
+    pub false_positives: usize,
+    /// Count of true negatives.
+    pub true_negatives: usize,
+    /// Count of false negatives.
+    pub false_negatives: usize,
+}
+
+impl EvaluationReport {
+    /// Precision: detected-and-really-erroneous over all detected-as-erroneous.
+    /// Returns 1.0 when nothing was flagged (no wrong accusation was made).
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / flagged as f64
+        }
+    }
+
+    /// Recall: detected erroneous over all genuinely erroneous. 1.0 when there is
+    /// nothing to detect.
+    pub fn recall(&self) -> f64 {
+        let erroneous = self.true_positives + self.false_negatives;
+        if erroneous == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / erroneous as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all judged pairs.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / total as f64
+        }
+    }
+
+    /// Total number of judged pairs.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Number of pairs flagged as erroneous.
+    pub fn flagged(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: DetectionOutcome) {
+        match outcome {
+            DetectionOutcome::TruePositive => self.true_positives += 1,
+            DetectionOutcome::FalsePositive => self.false_positives += 1,
+            DetectionOutcome::TrueNegative => self.true_negatives += 1,
+            DetectionOutcome::FalseNegative => self.false_negatives += 1,
+        }
+    }
+}
+
+/// Judges one pair: flagged when the posterior is strictly below `theta`; ground truth
+/// from the catalog. Returns `None` when the mapping has no correspondence for the
+/// attribute (there is nothing to judge — the aligner did not propose anything).
+pub fn judge(
+    catalog: &Catalog,
+    posteriors: &PosteriorTable,
+    mapping: MappingId,
+    attribute: AttributeId,
+    theta: f64,
+) -> Option<DetectionOutcome> {
+    let actually_correct = catalog.mapping(mapping).is_correct_for(attribute)?;
+    let flagged = posteriors.probability_ignoring_bottom(mapping, attribute) < theta;
+    Some(match (flagged, actually_correct) {
+        (true, false) => DetectionOutcome::TruePositive,
+        (true, true) => DetectionOutcome::FalsePositive,
+        (false, true) => DetectionOutcome::TrueNegative,
+        (false, false) => DetectionOutcome::FalseNegative,
+    })
+}
+
+/// Evaluates erroneous-mapping detection over every attribute correspondence declared
+/// in the catalog, at detection threshold `theta`.
+pub fn precision_recall(catalog: &Catalog, posteriors: &PosteriorTable, theta: f64) -> EvaluationReport {
+    let mut report = EvaluationReport::default();
+    for mapping_id in catalog.mappings() {
+        let mapping = catalog.mapping(mapping_id);
+        for (attribute, _corr) in mapping.correspondences() {
+            if let Some(outcome) = judge(catalog, posteriors, mapping_id, attribute, theta) {
+                report.record(outcome);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog_with_known_errors() -> Catalog {
+        let mut cat = Catalog::new();
+        let p0 = cat.add_peer_with_schema("a", |s| {
+            s.attributes(["x", "y"]);
+        });
+        let p1 = cat.add_peer_with_schema("b", |s| {
+            s.attributes(["x", "y"]);
+        });
+        // Mapping 0: x correct, y erroneous. Mapping 1: both correct.
+        cat.add_mapping(p0, p1, |m| {
+            m.correct(AttributeId(0), AttributeId(0))
+                .erroneous(AttributeId(1), AttributeId(0), AttributeId(1))
+        });
+        cat.add_mapping(p1, p0, |m| {
+            m.correct(AttributeId(0), AttributeId(0)).correct(AttributeId(1), AttributeId(1))
+        });
+        cat
+    }
+
+    #[test]
+    fn perfect_detector_has_perfect_precision_and_recall() {
+        let cat = catalog_with_known_errors();
+        let mut table = PosteriorTable::new(0.5);
+        table.set(MappingId(0), AttributeId(0), 0.9);
+        table.set(MappingId(0), AttributeId(1), 0.1);
+        table.set(MappingId(1), AttributeId(0), 0.9);
+        table.set(MappingId(1), AttributeId(1), 0.9);
+        let report = precision_recall(&cat, &table, 0.5);
+        assert_eq!(report.true_positives, 1);
+        assert_eq!(report.false_positives, 0);
+        assert_eq!(report.false_negatives, 0);
+        assert_eq!(report.true_negatives, 3);
+        assert_eq!(report.precision(), 1.0);
+        assert_eq!(report.recall(), 1.0);
+        assert_eq!(report.f1(), 1.0);
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.total(), 4);
+    }
+
+    #[test]
+    fn over_eager_detector_loses_precision() {
+        let cat = catalog_with_known_errors();
+        let table = PosteriorTable::new(0.2); // everything looks suspicious
+        let report = precision_recall(&cat, &table, 0.5);
+        assert_eq!(report.flagged(), 4);
+        assert!((report.precision() - 0.25).abs() < 1e-12);
+        assert_eq!(report.recall(), 1.0);
+    }
+
+    #[test]
+    fn blind_detector_loses_recall() {
+        let cat = catalog_with_known_errors();
+        let table = PosteriorTable::new(0.9); // everything looks fine
+        let report = precision_recall(&cat, &table, 0.5);
+        assert_eq!(report.flagged(), 0);
+        assert_eq!(report.precision(), 1.0);
+        assert_eq!(report.recall(), 0.0);
+        assert_eq!(report.f1(), 0.0);
+    }
+
+    #[test]
+    fn judge_skips_missing_correspondences() {
+        let cat = catalog_with_known_errors();
+        let table = PosteriorTable::new(0.5);
+        // Attribute 5 does not exist in mapping 0's table.
+        assert!(judge(&cat, &table, MappingId(0), AttributeId(5), 0.5).is_none());
+    }
+
+    #[test]
+    fn empty_report_is_vacuously_perfect() {
+        let r = EvaluationReport::default();
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.total(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Two-state beliefs: the messages and marginals of the binary factor graph.
+//!
+//! Every variable in the PDMS factor graph is binary — a mapping is either `correct` or
+//! `incorrect` for the attribute under consideration. Messages exchanged by the
+//! sum-product algorithm, priors, and posterior marginals are therefore all elements of
+//! the 1-simplex, represented here as a pair `[p_correct, p_incorrect]`.
+
+use std::fmt;
+use std::ops::{Mul, MulAssign};
+
+/// Index of the `correct` state in a [`Belief`].
+pub const CORRECT: usize = 0;
+/// Index of the `incorrect` state in a [`Belief`].
+pub const INCORRECT: usize = 1;
+
+/// A (not necessarily normalised) non-negative measure over `{correct, incorrect}`.
+///
+/// Beliefs behave multiplicatively, matching the product steps of the sum-product
+/// algorithm: `a * b` is the component-wise product. [`Belief::normalized`] rescales so
+/// the components sum to one (the `α` factor in the paper's posterior equation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Belief {
+    values: [f64; 2],
+}
+
+impl Belief {
+    /// Builds a belief from raw (non-negative) weights.
+    ///
+    /// # Panics
+    /// Panics if a weight is negative or NaN.
+    pub fn from_weights(correct: f64, incorrect: f64) -> Self {
+        assert!(
+            correct >= 0.0 && incorrect >= 0.0 && correct.is_finite() && incorrect.is_finite(),
+            "belief weights must be finite and non-negative, got [{correct}, {incorrect}]"
+        );
+        Self {
+            values: [correct, incorrect],
+        }
+    }
+
+    /// Builds the normalised belief with `P(correct) = p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn from_probability(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        Self::from_weights(p, 1.0 - p)
+    }
+
+    /// The unit (uninformative) message: `[1, 1]`. This is what peers assume they have
+    /// received from everyone else before the first real message arrives (Section 4.3).
+    pub fn unit() -> Self {
+        Self::from_weights(1.0, 1.0)
+    }
+
+    /// The maximum-entropy prior `P(correct) = 0.5` (Section 4.4).
+    pub fn uniform() -> Self {
+        Self::from_probability(0.5)
+    }
+
+    /// Weight of the `correct` state (unnormalised).
+    pub fn correct(&self) -> f64 {
+        self.values[CORRECT]
+    }
+
+    /// Weight of the `incorrect` state (unnormalised).
+    pub fn incorrect(&self) -> f64 {
+        self.values[INCORRECT]
+    }
+
+    /// Weight of a state by index (0 = correct, 1 = incorrect).
+    pub fn weight(&self, state: usize) -> f64 {
+        self.values[state]
+    }
+
+    /// Total mass.
+    pub fn sum(&self) -> f64 {
+        self.values[0] + self.values[1]
+    }
+
+    /// Normalised copy; a zero-mass belief normalises to the uniform distribution so
+    /// the algorithm degrades gracefully instead of dividing by zero (this can happen
+    /// transiently when a feedback factor assigns probability zero to every consistent
+    /// configuration).
+    pub fn normalized(&self) -> Self {
+        let s = self.sum();
+        if s <= f64::EPSILON {
+            Self::uniform()
+        } else {
+            Self::from_weights(self.values[0] / s, self.values[1] / s)
+        }
+    }
+
+    /// `P(correct)` of the normalised belief.
+    pub fn probability_correct(&self) -> f64 {
+        self.normalized().correct()
+    }
+
+    /// Component-wise product, the message-combination step of sum-product.
+    pub fn product(&self, other: &Self) -> Self {
+        Self::from_weights(
+            self.values[0] * other.values[0],
+            self.values[1] * other.values[1],
+        )
+    }
+
+    /// Damped interpolation towards `target`: `(1-λ)·self + λ·target`, applied on the
+    /// normalised distributions. Damping (λ < 1) is a standard stabiliser for loopy BP.
+    pub fn damped_towards(&self, target: &Self, lambda: f64) -> Self {
+        let a = self.normalized();
+        let b = target.normalized();
+        let l = lambda.clamp(0.0, 1.0);
+        Self::from_weights(
+            (1.0 - l) * a.values[0] + l * b.values[0],
+            (1.0 - l) * a.values[1] + l * b.values[1],
+        )
+    }
+
+    /// L∞ distance between the normalised distributions; the convergence criterion of
+    /// the iterative schedules.
+    pub fn distance(&self, other: &Self) -> f64 {
+        let a = self.normalized();
+        let b = other.normalized();
+        (a.values[0] - b.values[0])
+            .abs()
+            .max((a.values[1] - b.values[1]).abs())
+    }
+
+    /// True when all weights are finite (guards against numerical blow-ups in long
+    /// message products).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Default for Belief {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+impl Mul for Belief {
+    type Output = Belief;
+    fn mul(self, rhs: Belief) -> Belief {
+        self.product(&rhs)
+    }
+}
+
+impl MulAssign for Belief {
+    fn mul_assign(&mut self, rhs: Belief) {
+        *self = self.product(&rhs);
+    }
+}
+
+impl fmt::Display for Belief {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.normalized();
+        write!(f, "P(correct)={:.4}", n.correct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_probability_normalises() {
+        let b = Belief::from_probability(0.7);
+        assert!((b.correct() - 0.7).abs() < 1e-12);
+        assert!((b.incorrect() - 0.3).abs() < 1e-12);
+        assert!((b.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn probability_out_of_range_panics() {
+        Belief::from_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        Belief::from_weights(-1.0, 0.5);
+    }
+
+    #[test]
+    fn product_is_componentwise() {
+        let a = Belief::from_weights(0.5, 2.0);
+        let b = Belief::from_weights(4.0, 0.25);
+        let c = a * b;
+        assert!((c.correct() - 2.0).abs() < 1e-12);
+        assert!((c.incorrect() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_is_multiplicative_identity() {
+        let a = Belief::from_weights(0.3, 0.9);
+        let c = a * Belief::unit();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn zero_mass_normalises_to_uniform() {
+        let z = Belief::from_weights(0.0, 0.0);
+        assert_eq!(z.normalized(), Belief::uniform());
+        assert!((z.probability_correct() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_interpolates() {
+        let a = Belief::from_probability(0.0);
+        let b = Belief::from_probability(1.0);
+        let mid = a.damped_towards(&b, 0.5);
+        assert!((mid.probability_correct() - 0.5).abs() < 1e-12);
+        let none = a.damped_towards(&b, 0.0);
+        assert!((none.probability_correct() - 0.0).abs() < 1e-12);
+        let full = a.damped_towards(&b, 1.0);
+        assert!((full.probability_correct() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_equal() {
+        let a = Belief::from_probability(0.2);
+        let b = Belief::from_probability(0.9);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_probability() {
+        assert_eq!(Belief::from_probability(0.25).to_string(), "P(correct)=0.2500");
+    }
+}

@@ -1,0 +1,54 @@
+//! Factor graphs and sum-product message passing over binary variables.
+//!
+//! The paper models the network of mappings as a factor graph (Section 3): one binary
+//! variable per mapping ("is this mapping correct for attribute *a*?"), one single-
+//! variable *prior* factor per mapping, and one *feedback* factor per mapping cycle or
+//! parallel path, whose conditional probability table is
+//!
+//! ```text
+//! P(f⁺ | m0 … mn-1) = 1  if all mappings correct
+//!                     0  if exactly one mapping incorrect
+//!                     Δ  if two or more mappings incorrect  (compensating errors)
+//! ```
+//!
+//! Marginal posteriors are then computed with the sum-product algorithm — exactly on
+//! trees, approximately (loopy belief propagation) on graphs with cycles.
+//!
+//! This crate is a self-contained implementation of that machinery:
+//!
+//! * [`belief`] — normalised two-state distributions and message arithmetic;
+//! * [`variable`] / [`factor`] — the factor-graph node types, with dense-table factors
+//!   for generality and a closed-form implementation of the feedback factor that avoids
+//!   the 2ⁿ table ([`feedback_factor`]);
+//! * [`graph`] — the bipartite factor-graph structure;
+//! * [`sum_product`] — synchronous, random-order, and residual schedules of loopy
+//!   belief propagation, with damping and convergence detection;
+//! * [`exact`] — brute-force exact marginals used as the reference for Figure 9.
+//!
+//! The crate is independent of PDMS concepts; `pdms-core` maps mappings and feedback
+//! onto these structures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod belief;
+pub mod elimination;
+pub mod exact;
+pub mod factor;
+pub mod feedback_factor;
+pub mod graph;
+pub mod junction_tree;
+pub mod max_product;
+pub mod sum_product;
+pub mod tables;
+
+pub use belief::Belief;
+pub use elimination::{eliminate_marginal, eliminate_marginals, induced_width, min_degree_ordering};
+pub use exact::exact_marginals;
+pub use factor::{Factor, FactorKind};
+pub use feedback_factor::{feedback_message, FeedbackSign};
+pub use graph::{FactorGraph, FactorId, VariableId};
+pub use junction_tree::{junction_tree_marginals, JunctionTree, JunctionTreeReport};
+pub use max_product::{map_assignment, map_by_enumeration, MapAssignment};
+pub use sum_product::{run_sum_product, Schedule, SumProduct, SumProductConfig, SumProductReport};
+pub use tables::DenseTable;

@@ -1,0 +1,273 @@
+//! Maximum a-posteriori (MAP) configurations by max-product variable elimination.
+//!
+//! Marginal posteriors answer "how likely is *this* mapping to be correct?"; the MAP
+//! configuration answers the complementary question "which joint assignment of all the
+//! mapping variables best explains the observed feedback?". The difference matters when
+//! evidence is contradictory: marginals can hover near 0.5 for several mappings while
+//! the MAP assignment still commits to the single most plausible culprit — which is
+//! often the more useful output for an administrator repairing a mapping network.
+//!
+//! The implementation mirrors [`crate::elimination`], replacing the sum-out step by a
+//! max-out step and adding a traceback pass that recovers the maximising assignment.
+
+use crate::elimination::{min_degree_ordering, MAX_INDUCED_WIDTH};
+use crate::graph::{FactorGraph, VariableId};
+use crate::tables::DenseTable;
+
+/// The result of a MAP query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapAssignment {
+    /// State of every variable (`0 = correct`, `1 = incorrect`), indexed by
+    /// `VariableId.0`.
+    pub states: Vec<usize>,
+    /// The unnormalised joint weight of the assignment (product of all factors).
+    pub weight: f64,
+}
+
+impl MapAssignment {
+    /// True when the assignment declares the variable correct.
+    pub fn is_correct(&self, variable: VariableId) -> bool {
+        self.states[variable.0] == 0
+    }
+
+    /// The variables declared incorrect.
+    pub fn incorrect_variables(&self) -> Vec<VariableId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == 1).then_some(VariableId(i)))
+            .collect()
+    }
+}
+
+/// Computes the MAP assignment of a factor graph by max-product variable elimination
+/// with traceback.
+///
+/// Ties are broken towards `correct`, matching the paper's asymmetric reading of the
+/// evidence (a mapping is only flagged when the evidence actively speaks against it).
+/// Variables covered by no factor are reported as `correct`.
+///
+/// # Panics
+/// Panics if an intermediate table would exceed [`MAX_INDUCED_WIDTH`] variables.
+pub fn map_assignment(graph: &FactorGraph) -> MapAssignment {
+    let n = graph.variable_count();
+    if n == 0 {
+        return MapAssignment {
+            states: Vec::new(),
+            weight: 1.0,
+        };
+    }
+    let order = min_degree_ordering(graph);
+    let mut tables: Vec<DenseTable> = graph
+        .factors()
+        .map(|f| DenseTable::from_factor(graph, f))
+        .collect();
+    // For the traceback we remember, for every eliminated variable, the table it was
+    // maximised out of (over the variable and its still-live context).
+    let mut traceback: Vec<(VariableId, DenseTable)> = Vec::with_capacity(n);
+    for &victim in &order {
+        let (mut involved, rest): (Vec<DenseTable>, Vec<DenseTable>) = tables
+            .into_iter()
+            .partition(|t| t.position(victim).is_some());
+        tables = rest;
+        if involved.is_empty() {
+            // Uncovered variable: its state is free; record a trivial table so the
+            // traceback resolves it to `correct`.
+            traceback.push((victim, DenseTable::new(vec![victim], vec![1.0, 1.0])));
+            continue;
+        }
+        let mut product = involved.pop().expect("non-empty");
+        for t in involved {
+            product = product.multiply(&t);
+            assert!(
+                product.scope().len() <= MAX_INDUCED_WIDTH,
+                "intermediate table over {} variables exceeds the exact-inference cap",
+                product.scope().len()
+            );
+        }
+        traceback.push((victim, product.clone()));
+        tables.push(product.max_out(victim));
+    }
+    // The remaining tables are scalars; their product is the MAP weight.
+    let weight = tables
+        .iter()
+        .map(|t| if t.is_scalar() { t.scalar() } else { 1.0 })
+        .product();
+    // Traceback in reverse elimination order: every variable's table now has all its
+    // context variables already decided.
+    let mut states = vec![0usize; n];
+    for (victim, table) in traceback.iter().rev() {
+        let mut restricted = table.clone();
+        for v in table.scope().to_vec() {
+            if v != *victim {
+                restricted = restricted.restrict(v, states[v.0]);
+            }
+        }
+        let correct = restricted.value_at(&[0]);
+        let incorrect = restricted.value_at(&[1]);
+        states[victim.0] = if incorrect > correct { 1 } else { 0 };
+    }
+    MapAssignment { states, weight }
+}
+
+/// Reference MAP computation by exhaustive enumeration; the test oracle for
+/// [`map_assignment`]. Limited to small graphs.
+///
+/// # Panics
+/// Panics beyond 20 variables.
+pub fn map_by_enumeration(graph: &FactorGraph) -> MapAssignment {
+    let n = graph.variable_count();
+    assert!(n <= 20, "enumeration MAP limited to 20 variables, got {n}");
+    let mut best_states = vec![0usize; n];
+    let mut best_weight = f64::NEG_INFINITY;
+    let mut assignment = vec![0usize; n];
+    let mut scratch = Vec::new();
+    for code in 0..(1usize << n) {
+        for (i, a) in assignment.iter_mut().enumerate() {
+            *a = (code >> i) & 1;
+        }
+        let mut weight = 1.0f64;
+        for f in graph.factors() {
+            scratch.clear();
+            scratch.extend(graph.scope_of(f).iter().map(|v| assignment[v.0]));
+            weight *= graph.factor(f).evaluate(&scratch);
+            if weight == 0.0 {
+                break;
+            }
+        }
+        // Prefer assignments with fewer `incorrect` states on ties, matching the
+        // tie-break of the elimination version.
+        let better = weight > best_weight
+            || (weight == best_weight
+                && assignment.iter().sum::<usize>() < best_states.iter().sum::<usize>());
+        if better {
+            best_weight = weight;
+            best_states.copy_from_slice(&assignment);
+        }
+    }
+    MapAssignment {
+        states: best_states,
+        weight: best_weight.max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::Factor;
+
+    fn example_graph() -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let vars: Vec<VariableId> = (0..5).map(|i| g.add_variable(format!("m{i}"))).collect();
+        for &v in &vars {
+            g.add_prior(v, 0.7);
+        }
+        // One positive long cycle, and two negative observations that both involve m4:
+        // the most economical explanation is "m4 alone is faulty".
+        g.add_factor(Factor::feedback(
+            vec![vars[0], vars[1], vars[2], vars[3]],
+            true,
+            0.1,
+        ));
+        g.add_factor(Factor::feedback(vec![vars[0], vars[4], vars[3]], false, 0.1));
+        g.add_factor(Factor::feedback(vec![vars[1], vars[2], vars[4]], false, 0.1));
+        g
+    }
+
+    #[test]
+    fn map_blames_the_single_shared_mapping() {
+        let g = example_graph();
+        let map = map_assignment(&g);
+        assert_eq!(map.incorrect_variables(), vec![VariableId(4)]);
+        assert!(map.weight > 0.0);
+    }
+
+    #[test]
+    fn map_matches_enumeration_on_the_example_graph() {
+        let g = example_graph();
+        let fast = map_assignment(&g);
+        let slow = map_by_enumeration(&g);
+        assert_eq!(fast.states, slow.states);
+        assert!((fast.weight - slow.weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_positive_feedback_yields_the_all_correct_assignment() {
+        let mut g = FactorGraph::new();
+        let vars: Vec<VariableId> = (0..4).map(|i| g.add_variable(format!("m{i}"))).collect();
+        for &v in &vars {
+            g.add_prior(v, 0.6);
+        }
+        g.add_factor(Factor::feedback(vars.clone(), true, 0.1));
+        let map = map_assignment(&g);
+        assert!(map.incorrect_variables().is_empty());
+        assert_eq!(map.states, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn strong_negative_prior_flips_a_variable() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable("a");
+        let b = g.add_variable("b");
+        g.add_prior(a, 0.05);
+        g.add_prior(b, 0.9);
+        g.add_factor(Factor::feedback(vec![a, b], false, 0.2));
+        let fast = map_assignment(&g);
+        let slow = map_by_enumeration(&g);
+        assert_eq!(fast.states, slow.states);
+        assert!(!fast.is_correct(a));
+        assert!(fast.is_correct(b));
+    }
+
+    #[test]
+    fn uncovered_variables_default_to_correct() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable("a");
+        let _floating = g.add_variable("floating");
+        g.add_prior(a, 0.2);
+        let map = map_assignment(&g);
+        assert_eq!(map.states[1], 0);
+        assert_eq!(map.states[0], 1);
+    }
+
+    #[test]
+    fn empty_graph_produces_an_empty_assignment() {
+        let g = FactorGraph::new();
+        let map = map_assignment(&g);
+        assert!(map.states.is_empty());
+        assert_eq!(map.weight, 1.0);
+    }
+
+    #[test]
+    fn random_small_models_agree_with_enumeration() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let mut g = FactorGraph::new();
+            let n = rng.gen_range(3..8);
+            let vars: Vec<VariableId> = (0..n).map(|i| g.add_variable(format!("x{i}"))).collect();
+            for &v in &vars {
+                g.add_prior(v, rng.gen_range(0.05..0.95));
+            }
+            for _ in 0..rng.gen_range(1..4) {
+                let len = rng.gen_range(2..=n.min(4));
+                let mut scope = vars.clone();
+                for i in (1..scope.len()).rev() {
+                    scope.swap(i, rng.gen_range(0..=i));
+                }
+                scope.truncate(len);
+                g.add_factor(Factor::feedback(scope, rng.gen_bool(0.5), 0.1));
+            }
+            let fast = map_assignment(&g);
+            let slow = map_by_enumeration(&g);
+            // Weights must agree; the argmax may differ only on exact ties.
+            assert!(
+                (fast.weight - slow.weight).abs() < 1e-9,
+                "weights differ: {} vs {}",
+                fast.weight,
+                slow.weight
+            );
+        }
+    }
+}

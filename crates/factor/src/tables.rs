@@ -1,0 +1,376 @@
+//! Dense potential tables over small sets of binary variables.
+//!
+//! Variable elimination ([`crate::elimination`]), junction-tree propagation
+//! ([`crate::junction_tree`]) and MAP search ([`crate::max_product`]) all manipulate
+//! intermediate potentials: non-negative functions over a few binary variables that are
+//! multiplied together and summed (or maximised) out one variable at a time. This
+//! module provides that shared representation.
+//!
+//! A [`DenseTable`] stores one value per joint assignment of its scope, indexed by the
+//! binary number formed with scope position 0 as the lowest bit — the same convention
+//! as [`crate::factor::Factor::table`].
+
+use crate::graph::{FactorGraph, FactorId, VariableId};
+
+/// A dense non-negative potential over an ordered scope of binary variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTable {
+    scope: Vec<VariableId>,
+    values: Vec<f64>,
+}
+
+impl DenseTable {
+    /// The scalar potential `1` over the empty scope (the multiplicative identity).
+    pub fn unit() -> Self {
+        Self {
+            scope: Vec::new(),
+            values: vec![1.0],
+        }
+    }
+
+    /// Builds a table from an explicit scope and value vector.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != 2^scope.len()`, if the scope repeats a variable, or if
+    /// any value is negative or non-finite.
+    pub fn new(scope: Vec<VariableId>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            1usize << scope.len(),
+            "table over {} variables needs 2^{} values, got {}",
+            scope.len(),
+            scope.len(),
+            values.len()
+        );
+        assert!(
+            values.iter().all(|v| *v >= 0.0 && v.is_finite()),
+            "table values must be finite and non-negative"
+        );
+        let mut sorted = scope.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), scope.len(), "scope must not repeat variables");
+        Self { scope, values }
+    }
+
+    /// Materialises one factor of a factor graph as a dense table.
+    pub fn from_factor(graph: &FactorGraph, factor: FactorId) -> Self {
+        let scope: Vec<VariableId> = graph.scope_of(factor).to_vec();
+        let n = scope.len();
+        let mut values = Vec::with_capacity(1usize << n);
+        let mut assignment = vec![0usize; n];
+        for code in 0..(1usize << n) {
+            for (pos, state) in assignment.iter_mut().enumerate() {
+                *state = (code >> pos) & 1;
+            }
+            values.push(graph.factor(factor).evaluate(&assignment));
+        }
+        Self { scope, values }
+    }
+
+    /// The ordered scope of the table.
+    pub fn scope(&self) -> &[VariableId] {
+        &self.scope
+    }
+
+    /// The raw values (length `2^scope.len()`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// True when the table has an empty scope (a scalar).
+    pub fn is_scalar(&self) -> bool {
+        self.scope.is_empty()
+    }
+
+    /// The scalar value of an empty-scope table.
+    ///
+    /// # Panics
+    /// Panics if the table still has variables in scope.
+    pub fn scalar(&self) -> f64 {
+        assert!(self.is_scalar(), "table still has {} variables in scope", self.scope.len());
+        self.values[0]
+    }
+
+    /// Position of a variable in the scope.
+    pub fn position(&self, variable: VariableId) -> Option<usize> {
+        self.scope.iter().position(|v| *v == variable)
+    }
+
+    /// Value at a full assignment of the scope (one state per scope position).
+    pub fn value_at(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.scope.len(), "assignment/scope mismatch");
+        let mut index = 0usize;
+        for (pos, state) in assignment.iter().enumerate() {
+            assert!(*state < 2, "states must be 0 or 1");
+            index |= state << pos;
+        }
+        self.values[index]
+    }
+
+    /// Pointwise product with another table; the result's scope is the union of the two
+    /// scopes (this table's variables first, then the other's new variables).
+    pub fn multiply(&self, other: &DenseTable) -> DenseTable {
+        let mut scope = self.scope.clone();
+        for v in &other.scope {
+            if !scope.contains(v) {
+                scope.push(*v);
+            }
+        }
+        let n = scope.len();
+        let mut values = Vec::with_capacity(1usize << n);
+        let mut assignment = vec![0usize; n];
+        // Precompute, for each operand, where each of its scope variables sits in the
+        // result scope.
+        let self_pos: Vec<usize> = self
+            .scope
+            .iter()
+            .map(|v| scope.iter().position(|s| s == v).expect("own scope is in the union"))
+            .collect();
+        let other_pos: Vec<usize> = other
+            .scope
+            .iter()
+            .map(|v| scope.iter().position(|s| s == v).expect("other scope is in the union"))
+            .collect();
+        for code in 0..(1usize << n) {
+            for (pos, state) in assignment.iter_mut().enumerate() {
+                *state = (code >> pos) & 1;
+            }
+            let mut self_index = 0usize;
+            for (k, &p) in self_pos.iter().enumerate() {
+                self_index |= assignment[p] << k;
+            }
+            let mut other_index = 0usize;
+            for (k, &p) in other_pos.iter().enumerate() {
+                other_index |= assignment[p] << k;
+            }
+            values.push(self.values[self_index] * other.values[other_index]);
+        }
+        DenseTable { scope, values }
+    }
+
+    /// Sums a variable out of the table. Summing out a variable that is not in scope is
+    /// a no-op (returns a clone).
+    pub fn sum_out(&self, variable: VariableId) -> DenseTable {
+        self.reduce(variable, f64::max /* unused */, true)
+    }
+
+    /// Maximises a variable out of the table (the max-product counterpart of
+    /// [`DenseTable::sum_out`]).
+    pub fn max_out(&self, variable: VariableId) -> DenseTable {
+        self.reduce(variable, f64::max, false)
+    }
+
+    fn reduce(&self, variable: VariableId, combine: fn(f64, f64) -> f64, sum: bool) -> DenseTable {
+        let Some(pos) = self.position(variable) else {
+            return self.clone();
+        };
+        let scope: Vec<VariableId> = self
+            .scope
+            .iter()
+            .copied()
+            .filter(|v| *v != variable)
+            .collect();
+        let n = scope.len();
+        let mut values = vec![if sum { 0.0 } else { f64::NEG_INFINITY }; 1usize << n];
+        for (code, &value) in self.values.iter().enumerate() {
+            // Remove the bit at `pos` to get the index in the reduced table.
+            let low = code & ((1usize << pos) - 1);
+            let high = (code >> (pos + 1)) << pos;
+            let reduced = low | high;
+            if sum {
+                values[reduced] += value;
+            } else {
+                values[reduced] = combine(values[reduced], value);
+            }
+        }
+        if !sum {
+            for v in &mut values {
+                if !v.is_finite() {
+                    *v = 0.0;
+                }
+            }
+        }
+        DenseTable { scope, values }
+    }
+
+    /// Restricts (conditions) the table to `variable = state`, removing the variable
+    /// from the scope. Restricting a variable not in scope is a no-op.
+    pub fn restrict(&self, variable: VariableId, state: usize) -> DenseTable {
+        assert!(state < 2, "states must be 0 or 1");
+        let Some(pos) = self.position(variable) else {
+            return self.clone();
+        };
+        let scope: Vec<VariableId> = self
+            .scope
+            .iter()
+            .copied()
+            .filter(|v| *v != variable)
+            .collect();
+        let n = scope.len();
+        let mut values = Vec::with_capacity(1usize << n);
+        for reduced in 0..(1usize << n) {
+            let low = reduced & ((1usize << pos) - 1);
+            let high = (reduced >> pos) << (pos + 1);
+            let full = low | high | (state << pos);
+            values.push(self.values[full]);
+        }
+        DenseTable { scope, values }
+    }
+
+    /// Marginal `P(variable = correct)` of a table interpreted as an unnormalised joint
+    /// distribution over its scope.
+    ///
+    /// # Panics
+    /// Panics if the variable is not in scope.
+    pub fn marginal_correct(&self, variable: VariableId) -> f64 {
+        let pos = self
+            .position(variable)
+            .unwrap_or_else(|| panic!("variable {variable} not in table scope"));
+        let mut mass = [0.0f64; 2];
+        for (code, &value) in self.values.iter().enumerate() {
+            mass[(code >> pos) & 1] += value;
+        }
+        let total = mass[0] + mass[1];
+        if total <= f64::EPSILON {
+            0.5
+        } else {
+            mass[0] / total
+        }
+    }
+
+    /// Normalised copy (values sum to one). A zero-mass table becomes uniform.
+    pub fn normalized(&self) -> DenseTable {
+        let total: f64 = self.values.iter().sum();
+        let values = if total <= f64::EPSILON {
+            vec![1.0 / self.values.len() as f64; self.values.len()]
+        } else {
+            self.values.iter().map(|v| v / total).collect()
+        };
+        DenseTable {
+            scope: self.scope.clone(),
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belief::Belief;
+    use crate::factor::Factor;
+
+    fn v(i: usize) -> VariableId {
+        VariableId(i)
+    }
+
+    #[test]
+    fn unit_is_a_scalar_one() {
+        let u = DenseTable::unit();
+        assert!(u.is_scalar());
+        assert_eq!(u.scalar(), 1.0);
+    }
+
+    #[test]
+    fn from_factor_materialises_the_cpt() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable("a");
+        let b = g.add_variable("b");
+        let f = g.add_factor(Factor::feedback(vec![a, b], true, 0.25));
+        let t = DenseTable::from_factor(&g, f);
+        assert_eq!(t.scope(), &[a, b]);
+        assert_eq!(t.value_at(&[0, 0]), 1.0);
+        assert_eq!(t.value_at(&[1, 0]), 0.0);
+        assert_eq!(t.value_at(&[0, 1]), 0.0);
+        assert_eq!(t.value_at(&[1, 1]), 0.25);
+    }
+
+    #[test]
+    fn multiply_aligns_shared_variables() {
+        // t1 over (a, b), t2 over (b, c): result over (a, b, c).
+        let t1 = DenseTable::new(vec![v(0), v(1)], vec![1.0, 2.0, 3.0, 4.0]);
+        let t2 = DenseTable::new(vec![v(1), v(2)], vec![10.0, 20.0, 30.0, 40.0]);
+        let p = t1.multiply(&t2);
+        assert_eq!(p.scope(), &[v(0), v(1), v(2)]);
+        // Assignment a=1, b=1, c=0: t1[a=1,b=1]=4, t2[b=1,c=0]=20.
+        assert_eq!(p.value_at(&[1, 1, 0]), 80.0);
+        // Assignment a=0, b=1, c=1: t1[0,1]=3, t2[1,1]=40.
+        assert_eq!(p.value_at(&[0, 1, 1]), 120.0);
+    }
+
+    #[test]
+    fn multiply_by_unit_is_identity() {
+        let t = DenseTable::new(vec![v(3)], vec![0.2, 0.8]);
+        let p = DenseTable::unit().multiply(&t);
+        assert_eq!(p.scope(), &[v(3)]);
+        assert_eq!(p.values(), t.values());
+    }
+
+    #[test]
+    fn sum_out_removes_the_variable() {
+        let t = DenseTable::new(vec![v(0), v(1)], vec![1.0, 2.0, 3.0, 4.0]);
+        let s = t.sum_out(v(0));
+        assert_eq!(s.scope(), &[v(1)]);
+        assert_eq!(s.values(), &[3.0, 7.0]);
+        let s2 = t.sum_out(v(1));
+        assert_eq!(s2.scope(), &[v(0)]);
+        assert_eq!(s2.values(), &[4.0, 6.0]);
+        // Summing out a variable not in scope is a no-op.
+        assert_eq!(t.sum_out(v(9)).values(), t.values());
+    }
+
+    #[test]
+    fn max_out_keeps_the_best_value() {
+        let t = DenseTable::new(vec![v(0), v(1)], vec![1.0, 2.0, 3.0, 4.0]);
+        let m = t.max_out(v(0));
+        assert_eq!(m.scope(), &[v(1)]);
+        assert_eq!(m.values(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn restrict_conditions_on_a_state() {
+        let t = DenseTable::new(vec![v(0), v(1)], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = t.restrict(v(0), 1);
+        assert_eq!(r.scope(), &[v(1)]);
+        assert_eq!(r.values(), &[2.0, 4.0]);
+        let r2 = t.restrict(v(1), 0);
+        assert_eq!(r2.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn marginal_correct_matches_hand_computation() {
+        // Joint over (a, b) proportional to [1, 2, 3, 4]; P(a=0) = (1+3)/10.
+        let t = DenseTable::new(vec![v(0), v(1)], vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((t.marginal_correct(v(0)) - 0.4).abs() < 1e-12);
+        assert!((t.marginal_correct(v(1)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_handles_zero_mass() {
+        let z = DenseTable::new(vec![v(0)], vec![0.0, 0.0]);
+        assert_eq!(z.normalized().values(), &[0.5, 0.5]);
+        let t = DenseTable::new(vec![v(0)], vec![1.0, 3.0]);
+        assert_eq!(t.normalized().values(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn prior_factor_round_trips_through_a_table() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable("a");
+        let f = g.add_factor(Factor::prior(a, Belief::from_probability(0.8)));
+        let t = DenseTable::from_factor(&g, f);
+        assert!((t.marginal_correct(a) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scope must not repeat")]
+    fn repeated_scope_variables_panic() {
+        DenseTable::new(vec![v(0), v(0)], vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2^")]
+    fn wrong_value_count_panics() {
+        DenseTable::new(vec![v(0)], vec![1.0]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Random topology generators for synthetic PDMS networks.
+//!
+//! Section 3.2.1 of the paper observes that real semantic overlay networks are not
+//! random: they show exponential degree distributions and unusually high clustering
+//! coefficients (0.54 for the SRS biological schema network), i.e. scale-free-like
+//! topologies with many short cycles. The evaluation therefore needs generators that
+//! can produce (a) simple rings and example graphs for controlled experiments and
+//! (b) clustered / scale-free networks for the large-scale simulations mentioned in
+//! Section 7.
+
+use crate::adjacency::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Family of topologies the generator can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// A single directed ring `p0 → p1 → … → p0`.
+    Ring,
+    /// Every ordered pair of distinct peers is connected independently with
+    /// probability `p` (Erdős–Rényi G(n, p)).
+    ErdosRenyi,
+    /// Preferential attachment: each new peer connects to `m` existing peers chosen
+    /// proportionally to their current degree (Barabási–Albert), producing scale-free
+    /// degree distributions.
+    ScaleFree,
+    /// A ring lattice where each peer is connected to its `k` nearest clockwise
+    /// neighbours, with each edge rewired with probability `p` (Watts–Strogatz-like),
+    /// producing the high clustering coefficients observed in real schema networks.
+    ClusteredSmallWorld,
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Which family of topology to generate.
+    pub kind: TopologyKind,
+    /// Number of peers.
+    pub peers: usize,
+    /// Edge probability (Erdős–Rényi) or rewiring probability (small-world). Ignored
+    /// by the other families.
+    pub probability: f64,
+    /// Edges attached per new node (scale-free) or nearest neighbours (small-world).
+    pub attachment: usize,
+    /// RNG seed so every experiment is reproducible.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            kind: TopologyKind::Ring,
+            peers: 8,
+            probability: 0.2,
+            attachment: 2,
+            seed: 42,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Convenience constructor for a directed ring of `peers` nodes.
+    pub fn ring(peers: usize) -> Self {
+        Self {
+            kind: TopologyKind::Ring,
+            peers,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience constructor for an Erdős–Rényi graph.
+    pub fn erdos_renyi(peers: usize, probability: f64, seed: u64) -> Self {
+        Self {
+            kind: TopologyKind::ErdosRenyi,
+            peers,
+            probability,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience constructor for a Barabási–Albert scale-free graph.
+    pub fn scale_free(peers: usize, attachment: usize, seed: u64) -> Self {
+        Self {
+            kind: TopologyKind::ScaleFree,
+            peers,
+            attachment,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience constructor for a clustered small-world graph.
+    pub fn small_world(peers: usize, neighbours: usize, rewire: f64, seed: u64) -> Self {
+        Self {
+            kind: TopologyKind::ClusteredSmallWorld,
+            peers,
+            attachment: neighbours,
+            probability: rewire,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Generates the topology described by this configuration.
+    pub fn generate(&self) -> DiGraph {
+        generate(self)
+    }
+}
+
+/// Generates a mapping-network topology according to `config`.
+pub fn generate(config: &GeneratorConfig) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    match config.kind {
+        TopologyKind::Ring => ring(config.peers),
+        TopologyKind::ErdosRenyi => erdos_renyi(config.peers, config.probability, &mut rng),
+        TopologyKind::ScaleFree => scale_free(config.peers, config.attachment.max(1), &mut rng),
+        TopologyKind::ClusteredSmallWorld => {
+            small_world(config.peers, config.attachment.max(1), config.probability, &mut rng)
+        }
+    }
+}
+
+/// Directed ring of `n` peers.
+pub fn ring(n: usize) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    if n < 2 {
+        return g;
+    }
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n));
+    }
+    g
+}
+
+fn erdos_renyi(n: usize, p: f64, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+fn scale_free(n: usize, m: usize, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    if n == 0 {
+        return g;
+    }
+    // Repeated-node list for preferential attachment: a node appears once per incident
+    // edge endpoint, so sampling uniformly from the list is degree-proportional.
+    let mut endpoints: Vec<usize> = Vec::new();
+    let seed_nodes = m.min(n.saturating_sub(1)).max(1);
+    // Fully connect the first few nodes (in one direction) to bootstrap.
+    for i in 0..seed_nodes.min(n) {
+        for j in 0..i {
+            g.add_edge(NodeId(i), NodeId(j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    if endpoints.is_empty() && n > 1 {
+        g.add_edge(NodeId(0), NodeId(1));
+        endpoints.push(0);
+        endpoints.push(1);
+    }
+    for i in seed_nodes..n {
+        let mut targets: Vec<usize> = Vec::new();
+        let mut guard = 0;
+        while targets.len() < m.min(i) && guard < 100 * m {
+            guard += 1;
+            let &candidate = endpoints.choose(rng).expect("non-empty endpoint list");
+            if candidate != i && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for t in targets {
+            // Orient the mapping randomly: real mapping networks contain mappings in
+            // both directions.
+            if rng.gen_bool(0.5) {
+                g.add_edge(NodeId(i), NodeId(t));
+            } else {
+                g.add_edge(NodeId(t), NodeId(i));
+            }
+            endpoints.push(i);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+fn small_world(n: usize, k: usize, rewire: f64, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    if n < 2 {
+        return g;
+    }
+    let k = k.min(n - 1);
+    for i in 0..n {
+        for offset in 1..=k {
+            let mut j = (i + offset) % n;
+            if rng.gen_bool(rewire.clamp(0.0, 1.0)) {
+                // Rewire to a uniformly random other node, avoiding self-loops and
+                // duplicate edges where possible.
+                let mut guard = 0;
+                loop {
+                    let candidate = rng.gen_range(0..n);
+                    guard += 1;
+                    if candidate != i && (g.find_edge(NodeId(i), NodeId(candidate)).is_none() || guard > 20) {
+                        j = candidate;
+                        break;
+                    }
+                }
+            }
+            if i != j && g.find_edge(NodeId(i), NodeId(j)).is_none() {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::clustering_coefficient;
+
+    #[test]
+    fn ring_has_n_edges_and_one_cycle() {
+        let g = ring(7);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 7);
+        let cycles = crate::cycles::enumerate_cycles(&g, 7);
+        assert_eq!(cycles.len(), 1);
+    }
+
+    #[test]
+    fn tiny_rings_are_degenerate() {
+        assert_eq!(ring(0).edge_count(), 0);
+        assert_eq!(ring(1).edge_count(), 0);
+        assert_eq!(ring(2).edge_count(), 2);
+    }
+
+    #[test]
+    fn erdos_renyi_is_reproducible() {
+        let a = GeneratorConfig::erdos_renyi(20, 0.15, 7).generate();
+        let b = GeneratorConfig::erdos_renyi(20, 0.15, 7).generate();
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ea: Vec<_> = a.edges().map(|e| (e.source, e.target)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.source, e.target)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_probability() {
+        let g = GeneratorConfig::erdos_renyi(50, 0.1, 3).generate();
+        let possible = 50.0 * 49.0;
+        let density = g.edge_count() as f64 / possible;
+        assert!(density > 0.05 && density < 0.15, "density {density}");
+    }
+
+    #[test]
+    fn scale_free_produces_hubs() {
+        let g = GeneratorConfig::scale_free(200, 2, 11).generate();
+        assert!(g.edge_count() >= 200);
+        let max_degree = g.nodes().map(|n| g.degree(n)).max().unwrap();
+        let mean_degree = g.nodes().map(|n| g.degree(n)).sum::<usize>() as f64 / 200.0;
+        assert!(
+            max_degree as f64 > 3.0 * mean_degree,
+            "expected hub nodes: max {max_degree}, mean {mean_degree}"
+        );
+    }
+
+    #[test]
+    fn small_world_with_no_rewiring_is_highly_clustered() {
+        let g = GeneratorConfig::small_world(40, 4, 0.0, 5).generate();
+        let cc = clustering_coefficient(&g);
+        assert!(cc > 0.4, "clustering coefficient {cc}");
+    }
+
+    #[test]
+    fn generators_do_not_create_self_loops() {
+        for cfg in [
+            GeneratorConfig::erdos_renyi(30, 0.2, 1),
+            GeneratorConfig::scale_free(30, 2, 2),
+            GeneratorConfig::small_world(30, 3, 0.3, 3),
+        ] {
+            let g = cfg.generate();
+            assert!(g.edges().all(|e| e.source != e.target), "{:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn small_world_rewiring_changes_structure() {
+        let regular = GeneratorConfig::small_world(60, 3, 0.0, 9).generate();
+        let rewired = GeneratorConfig::small_world(60, 3, 0.8, 9).generate();
+        let cc_regular = clustering_coefficient(&regular);
+        let cc_rewired = clustering_coefficient(&rewired);
+        assert!(cc_rewired < cc_regular, "{cc_rewired} !< {cc_regular}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Loop census, degree statistics, and distance metrics of mapping networks.
+//!
+//! Section 3.2.1 of the paper argues that semantic overlay networks are highly
+//! clustered and scale-free, and (citing Bianconi & Marsili) that the number of loops
+//! of a given size grows rapidly with the size considered, while Section 5.1.2 argues
+//! that only short loops (5–10 mappings) carry useful evidence. The statistics in this
+//! module quantify both claims on concrete topologies: how many cycles of each length a
+//! network contains, how its degrees are distributed, and how far apart peers are.
+
+use crate::adjacency::{DiGraph, NodeId};
+use crate::cycles::{enumerate_cycles, enumerate_undirected_cycles};
+use std::collections::VecDeque;
+
+/// Histogram of cycle counts by cycle length.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopCensus {
+    /// `counts[l]` is the number of simple cycles of length `l` (index 0 and 1 unused
+    /// for directed graphs; length-2 cycles are a pair of opposite mappings).
+    pub counts: Vec<usize>,
+}
+
+impl LoopCensus {
+    /// Number of cycles of a given length.
+    pub fn of_length(&self, len: usize) -> usize {
+        self.counts.get(len).copied().unwrap_or(0)
+    }
+
+    /// Total number of cycles counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Length of the shortest cycle found (the girth restricted to the census bound),
+    /// or `None` when the graph is acyclic within the bound.
+    pub fn girth(&self) -> Option<usize> {
+        self.counts.iter().position(|&c| c > 0)
+    }
+
+    /// Ratio `counts[l+1] / counts[l]` for the largest `l` where both are non-zero: a
+    /// rough measure of how fast the loop count grows with loop size (the scale-free
+    /// claim of Section 3.2.1 predicts values well above 1 for dense networks).
+    pub fn growth_ratio(&self) -> Option<f64> {
+        let mut best = None;
+        for l in 0..self.counts.len().saturating_sub(1) {
+            if self.counts[l] > 0 && self.counts[l + 1] > 0 {
+                best = Some(self.counts[l + 1] as f64 / self.counts[l] as f64);
+            }
+        }
+        best
+    }
+}
+
+/// Counts simple cycles of every length up to `max_len`.
+///
+/// `directed` selects directed cycles (mapping cycles in a directed PDMS) or undirected
+/// cycles (Section 3.2's undirected reading).
+pub fn loop_census(graph: &DiGraph, max_len: usize, directed: bool) -> LoopCensus {
+    let cycles = if directed {
+        enumerate_cycles(graph, max_len)
+    } else {
+        enumerate_undirected_cycles(graph, max_len)
+    };
+    let mut counts = vec![0usize; max_len + 1];
+    for cycle in cycles {
+        let len = cycle.len();
+        if len <= max_len {
+            counts[len] += 1;
+        }
+    }
+    LoopCensus { counts }
+}
+
+/// Degree statistics of a graph (total degree, i.e. in + out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// `histogram[d]` is the number of nodes of total degree `d`.
+    pub histogram: Vec<usize>,
+    /// Mean total degree.
+    pub mean: f64,
+    /// Maximum total degree.
+    pub max: usize,
+    /// Fraction of nodes whose degree is at least twice the mean ("hubs", the signature
+    /// of scale-free topologies).
+    pub hub_fraction: f64,
+}
+
+/// Computes the degree histogram and summary statistics.
+pub fn degree_stats(graph: &DiGraph) -> DegreeStats {
+    let n = graph.node_count();
+    if n == 0 {
+        return DegreeStats {
+            histogram: Vec::new(),
+            mean: 0.0,
+            max: 0,
+            hub_fraction: 0.0,
+        };
+    }
+    let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let hubs = degrees.iter().filter(|&&d| (d as f64) >= 2.0 * mean && d > 0).count();
+    DegreeStats {
+        histogram,
+        mean,
+        max,
+        hub_fraction: hubs as f64 / n as f64,
+    }
+}
+
+/// Shortest-path distances (in hops) from `origin` to every node, following edges in
+/// their direction when `directed` is true and in both directions otherwise.
+/// Unreachable nodes get `None`.
+pub fn hop_distances(graph: &DiGraph, origin: NodeId, directed: bool) -> Vec<Option<usize>> {
+    let n = graph.node_count();
+    let mut dist = vec![None; n];
+    if origin.0 >= n {
+        return dist;
+    }
+    dist[origin.0] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(origin);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.0].expect("queued nodes have a distance");
+        let next: Vec<NodeId> = if directed {
+            graph.successors(v)
+        } else {
+            graph.neighbors_undirected(v)
+        };
+        for w in next {
+            if dist[w.0].is_none() {
+                dist[w.0] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Distance summary of a graph: diameter and mean shortest-path length over the
+/// reachable pairs (ignoring unreachable pairs and self-distances).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceStats {
+    /// Longest shortest path over reachable ordered pairs.
+    pub diameter: usize,
+    /// Mean shortest-path length over reachable ordered pairs.
+    pub mean_path_length: f64,
+    /// Number of ordered pairs `(u, v)`, `u ≠ v`, with a path from `u` to `v`.
+    pub reachable_pairs: usize,
+}
+
+/// Computes [`DistanceStats`] by running a BFS from every node. `O(n·(n+m))` — intended
+/// for the evaluation-sized topologies, not for web-scale graphs.
+pub fn distance_stats(graph: &DiGraph, directed: bool) -> DistanceStats {
+    let mut diameter = 0usize;
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for origin in graph.nodes() {
+        for (i, d) in hop_distances(graph, origin, directed).into_iter().enumerate() {
+            if i == origin.0 {
+                continue;
+            }
+            if let Some(d) = d {
+                diameter = diameter.max(d);
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    DistanceStats {
+        diameter,
+        mean_path_length: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        reachable_pairs: pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> DiGraph {
+        let mut g = DiGraph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    #[test]
+    fn ring_census_finds_exactly_one_cycle() {
+        let census = loop_census(&ring(6), 8, true);
+        assert_eq!(census.total(), 1);
+        assert_eq!(census.of_length(6), 1);
+        assert_eq!(census.girth(), Some(6));
+        assert!(census.growth_ratio().is_none());
+    }
+
+    #[test]
+    fn census_respects_the_length_bound() {
+        let census = loop_census(&ring(6), 5, true);
+        assert_eq!(census.total(), 0);
+        assert_eq!(census.girth(), None);
+    }
+
+    #[test]
+    fn complete_directed_triangle_set_has_growing_loop_counts() {
+        // Complete directed graph on 4 nodes: many 2-cycles, 3-cycles and 4-cycles.
+        let mut g = DiGraph::with_nodes(4);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+        }
+        let census = loop_census(&g, 4, true);
+        assert_eq!(census.of_length(2), 6);
+        assert_eq!(census.of_length(3), 8);
+        assert_eq!(census.of_length(4), 6);
+        assert_eq!(census.girth(), Some(2));
+        assert!(census.growth_ratio().is_some());
+    }
+
+    #[test]
+    fn degree_stats_on_a_star() {
+        // Star: node 0 points to 1..=4.
+        let mut g = DiGraph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        let stats = degree_stats(&g);
+        assert_eq!(stats.max, 4);
+        assert!((stats.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(stats.histogram[1], 4);
+        assert_eq!(stats.histogram[4], 1);
+        // Only the hub has degree ≥ 2 × mean.
+        assert!((stats.hub_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_on_empty_graph() {
+        let stats = degree_stats(&DiGraph::new());
+        assert_eq!(stats.max, 0);
+        assert_eq!(stats.mean, 0.0);
+        assert!(stats.histogram.is_empty());
+    }
+
+    #[test]
+    fn hop_distances_follow_direction() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let directed = hop_distances(&g, NodeId(2), true);
+        assert_eq!(directed, vec![None, None, Some(0)]);
+        let undirected = hop_distances(&g, NodeId(2), false);
+        assert_eq!(undirected, vec![Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn distance_stats_on_a_directed_ring() {
+        let stats = distance_stats(&ring(4), true);
+        assert_eq!(stats.diameter, 3);
+        assert_eq!(stats.reachable_pairs, 12);
+        // Distances from any node: 1, 2, 3 → mean 2.
+        assert!((stats.mean_path_length - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_stats_ignore_unreachable_pairs() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let stats = distance_stats(&g, true);
+        assert_eq!(stats.reachable_pairs, 1);
+        assert_eq!(stats.diameter, 1);
+    }
+}

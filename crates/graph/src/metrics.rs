@@ -1,0 +1,161 @@
+//! Topology metrics: degree distribution, clustering coefficient, cycle statistics.
+//!
+//! These metrics let workloads check that generated networks resemble the semantic
+//! overlay networks the paper describes (exponential degree distribution, clustering
+//! coefficient around 0.5 for the SRS network).
+
+use crate::adjacency::{DiGraph, NodeId};
+use crate::cycles::enumerate_undirected_cycles;
+
+/// Aggregate structural metrics of a mapping network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of peers.
+    pub nodes: usize,
+    /// Number of mappings.
+    pub edges: usize,
+    /// Mean total degree.
+    pub mean_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient (undirected, averaged over nodes).
+    pub clustering_coefficient: f64,
+    /// Number of undirected cycles of length at most the bound used to compute it.
+    pub bounded_cycle_count: usize,
+}
+
+/// Computes the local clustering coefficient of each node (undirected) and averages it.
+///
+/// The local coefficient of a node with fewer than two neighbours is defined as zero,
+/// matching the convention used in the measurement the paper cites.
+pub fn clustering_coefficient(graph: &DiGraph) -> f64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for node in graph.nodes() {
+        total += local_clustering(graph, node);
+    }
+    total / n as f64
+}
+
+/// Local clustering coefficient of one node: fraction of neighbour pairs that are
+/// themselves connected (in either direction).
+pub fn local_clustering(graph: &DiGraph, node: NodeId) -> f64 {
+    let neighbours = graph.neighbors_undirected(node);
+    let k = neighbours.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let a = neighbours[i];
+            let b = neighbours[j];
+            if graph.find_edge(a, b).is_some() || graph.find_edge(b, a).is_some() {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Histogram of total degrees: `result[d]` is the number of nodes with degree `d`.
+pub fn degree_distribution(graph: &DiGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for node in graph.nodes() {
+        let d = graph.degree(node);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Computes the full metric bundle, counting undirected cycles up to `cycle_bound`.
+pub fn compute_metrics(graph: &DiGraph, cycle_bound: usize) -> GraphMetrics {
+    let nodes = graph.node_count();
+    let edges = graph.edge_count();
+    let degrees: Vec<usize> = graph.nodes().map(|n| graph.degree(n)).collect();
+    let mean_degree = if nodes == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / nodes as f64
+    };
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    GraphMetrics {
+        nodes,
+        edges,
+        mean_degree,
+        max_degree,
+        clustering_coefficient: clustering_coefficient(graph),
+        bounded_cycle_count: enumerate_undirected_cycles(graph, cycle_bound).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_has_clustering_one() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_clustering_zero() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn degree_distribution_counts_every_node() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(3));
+        let hist = degree_distribution(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 4);
+        assert_eq!(hist[1], 3);
+        assert_eq!(hist[3], 1);
+    }
+
+    #[test]
+    fn empty_graph_metrics_are_zero() {
+        let g = DiGraph::new();
+        let m = compute_metrics(&g, 4);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.edges, 0);
+        assert_eq!(m.mean_degree, 0.0);
+        assert_eq!(m.clustering_coefficient, 0.0);
+    }
+
+    #[test]
+    fn metrics_bundle_is_consistent() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(3), NodeId(0));
+        let m = compute_metrics(&g, 4);
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.edges, 4);
+        assert!((m.mean_degree - 2.0).abs() < 1e-12);
+        assert_eq!(m.max_degree, 2);
+        assert_eq!(m.bounded_cycle_count, 1);
+    }
+
+    #[test]
+    fn local_clustering_of_isolated_node_is_zero() {
+        let g = DiGraph::with_nodes(1);
+        assert_eq!(local_clustering(&g, NodeId(0)), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Enumeration of parallel mapping paths in directed PDMS networks.
+//!
+//! In a directed mapping network two edge-disjoint directed paths that share the same
+//! source and destination peer ("parallel paths", Section 3.3) play the role that
+//! undirected cycles play in the undirected case: the destination peer receives the
+//! same query through both paths and can compare the two translations, producing
+//! positive, negative or neutral feedback on the union of the mappings involved.
+
+use crate::adjacency::{DiGraph, EdgeId, NodeId};
+use std::collections::HashSet;
+
+/// A pair of edge-disjoint directed paths with common endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParallelPaths {
+    /// Common source peer.
+    pub source: NodeId,
+    /// Common destination peer.
+    pub destination: NodeId,
+    /// First path, as an ordered list of edges.
+    pub left: Vec<EdgeId>,
+    /// Second path, as an ordered list of edges.
+    pub right: Vec<EdgeId>,
+}
+
+impl ParallelPaths {
+    /// Total number of mappings involved (both paths).
+    pub fn mapping_count(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// All edges of both paths.
+    pub fn all_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.left.iter().chain(self.right.iter()).copied()
+    }
+
+    /// True if either path uses the given edge.
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        self.left.contains(&edge) || self.right.contains(&edge)
+    }
+
+    fn canonical_key(&self) -> (NodeId, NodeId, Vec<EdgeId>, Vec<EdgeId>) {
+        let mut a = self.left.clone();
+        let mut b = self.right.clone();
+        if b < a {
+            std::mem::swap(&mut a, &mut b);
+        }
+        (self.source, self.destination, a, b)
+    }
+}
+
+/// Enumerates all simple directed paths from `source` of length `1..=max_len`.
+///
+/// Returns `(destination, edge path)` tuples. Paths do not revisit nodes.
+pub fn simple_paths_from(graph: &DiGraph, source: NodeId, max_len: usize) -> Vec<(NodeId, Vec<EdgeId>)> {
+    let mut out = Vec::new();
+    if !graph.contains_node(source) || max_len == 0 {
+        return out;
+    }
+    let mut on_path = vec![false; graph.node_count()];
+    on_path[source.0] = true;
+    let mut path = Vec::new();
+    paths_rec(graph, source, max_len, &mut path, &mut on_path, &mut out);
+    out
+}
+
+fn paths_rec(
+    graph: &DiGraph,
+    current: NodeId,
+    remaining: usize,
+    path: &mut Vec<EdgeId>,
+    on_path: &mut [bool],
+    out: &mut Vec<(NodeId, Vec<EdgeId>)>,
+) {
+    if remaining == 0 {
+        return;
+    }
+    for e in graph.outgoing(current) {
+        if on_path[e.target.0] || path.contains(&e.id) {
+            continue;
+        }
+        path.push(e.id);
+        out.push((e.target, path.clone()));
+        on_path[e.target.0] = true;
+        paths_rec(graph, e.target, remaining - 1, path, on_path, out);
+        on_path[e.target.0] = false;
+        path.pop();
+    }
+}
+
+/// Enumerates pairs of edge-disjoint parallel paths between every (source, destination)
+/// pair, with each individual path of length at most `max_len`.
+///
+/// Pairs are deduplicated (the pair `{A, B}` equals `{B, A}`). Two paths that share an
+/// edge are not reported: feedback over them would not be independent evidence for the
+/// shared mapping. Paths of length 1 (a direct mapping) are allowed — comparing a direct
+/// mapping with a two-hop route is exactly the `f3⇒ : m21 ∥ m24→m41` case of Figure 5.
+pub fn enumerate_parallel_paths(graph: &DiGraph, max_len: usize) -> Vec<ParallelPaths> {
+    let mut found = Vec::new();
+    let mut seen: HashSet<(NodeId, NodeId, Vec<EdgeId>, Vec<EdgeId>)> = HashSet::new();
+    for source in graph.nodes() {
+        let paths = simple_paths_from(graph, source, max_len);
+        // Group by destination.
+        let mut by_dest: std::collections::HashMap<NodeId, Vec<&Vec<EdgeId>>> =
+            std::collections::HashMap::new();
+        for (dest, path) in &paths {
+            if *dest == source {
+                continue; // that's a cycle, handled elsewhere
+            }
+            by_dest.entry(*dest).or_default().push(path);
+        }
+        for (dest, group) in by_dest {
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    let a = group[i];
+                    let b = group[j];
+                    if a.iter().any(|e| b.contains(e)) {
+                        continue; // must be edge-disjoint
+                    }
+                    let pp = ParallelPaths {
+                        source,
+                        destination: dest,
+                        left: a.clone(),
+                        right: b.clone(),
+                    };
+                    let key = pp.canonical_key();
+                    if seen.insert(key) {
+                        found.push(pp);
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_figure5() -> (DiGraph, Vec<EdgeId>) {
+        let mut g = DiGraph::with_nodes(4);
+        let p = |i: usize| NodeId(i);
+        let m12 = g.add_edge(p(0), p(1));
+        let m21 = g.add_edge(p(1), p(0));
+        let m23 = g.add_edge(p(1), p(2));
+        let m34 = g.add_edge(p(2), p(3));
+        let m41 = g.add_edge(p(3), p(0));
+        let m24 = g.add_edge(p(1), p(3));
+        (g, vec![m12, m21, m23, m34, m41, m24])
+    }
+
+    #[test]
+    fn simple_paths_respect_length_bound() {
+        let (g, _) = paper_figure5();
+        let paths = simple_paths_from(&g, NodeId(0), 2);
+        assert!(paths.iter().all(|(_, p)| p.len() <= 2));
+        assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn diamond_has_one_parallel_path_pair() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let pps = enumerate_parallel_paths(&g, 3);
+        assert_eq!(pps.len(), 1);
+        assert_eq!(pps[0].source, NodeId(0));
+        assert_eq!(pps[0].destination, NodeId(3));
+        assert_eq!(pps[0].mapping_count(), 4);
+    }
+
+    #[test]
+    fn paper_figure5_has_three_parallel_path_pairs() {
+        // The paper lists f3: m21 || m24->m41, f4: m24 || m23->m34 and
+        // f5: m21 || m23->m34->m41.
+        let (g, m) = paper_figure5();
+        let pps = enumerate_parallel_paths(&g, 3);
+        assert_eq!(pps.len(), 3, "got {pps:?}");
+        let has = |edges: &[EdgeId]| {
+            pps.iter().any(|pp| {
+                let mut all: Vec<EdgeId> = pp.all_edges().collect();
+                all.sort_unstable();
+                let mut want = edges.to_vec();
+                want.sort_unstable();
+                all == want
+            })
+        };
+        assert!(has(&[m[1], m[5], m[4]]), "f3: m21 || m24->m41");
+        assert!(has(&[m[5], m[2], m[3]]), "f4: m24 || m23->m34");
+        assert!(has(&[m[1], m[2], m[3], m[4]]), "f5: m21 || m23->m34->m41");
+    }
+
+    #[test]
+    fn shared_edge_paths_are_not_parallel() {
+        // 0->1->3 and 0->1->2->3 share edge 0->1, so no pair with source 0 is reported.
+        // The edge-disjoint pair 1->3 || 1->2->3 (source 1) is legitimate and reported.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let pps = enumerate_parallel_paths(&g, 3);
+        assert!(pps.iter().all(|pp| pp.source != NodeId(0)), "got {pps:?}");
+        assert_eq!(pps.len(), 1);
+        assert_eq!(pps[0].source, NodeId(1));
+        assert_eq!(pps[0].destination, NodeId(3));
+    }
+
+    #[test]
+    fn two_direct_parallel_mappings_are_reported() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        let pps = enumerate_parallel_paths(&g, 2);
+        assert_eq!(pps.len(), 1);
+        assert_eq!(pps[0].mapping_count(), 2);
+    }
+
+    #[test]
+    fn no_parallel_paths_in_a_plain_ring() {
+        let mut g = DiGraph::with_nodes(4);
+        for i in 0..4 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 4));
+        }
+        assert!(enumerate_parallel_paths(&g, 4).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-peer runtime state and the peer-logic extension point.
+//!
+//! The simulator is agnostic about what peers *do*: the inference behaviour of the
+//! paper (probing, building local factor graphs, answering belief messages) is plugged
+//! in by `pdms-core` through the [`PeerLogic`] trait. The [`PeerState`] struct holds
+//! the bookkeeping every peer needs regardless of logic: its identifier, the messages
+//! delivered this round, and an outbox of messages to send.
+
+use crate::message::{Envelope, Payload};
+use pdms_schema::PeerId;
+
+/// Messages a peer wants to send at the end of a round.
+#[derive(Debug, Default, Clone)]
+pub struct Outbox {
+    messages: Vec<(PeerId, Payload)>,
+}
+
+impl Outbox {
+    /// Queues a message for `to`.
+    pub fn send(&mut self, to: PeerId, payload: Payload) {
+        self.messages.push((to, payload));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Drains the queued messages.
+    pub fn drain(&mut self) -> Vec<(PeerId, Payload)> {
+        std::mem::take(&mut self.messages)
+    }
+}
+
+/// Behaviour of a peer, invoked once per simulated round.
+///
+/// `inbox` contains every message delivered to the peer this round; messages to be
+/// sent are pushed into `outbox` and handed to the transport by the simulator.
+pub trait PeerLogic {
+    /// Processes one round.
+    fn on_round(&mut self, peer: PeerId, round: u64, inbox: &[Envelope], outbox: &mut Outbox);
+}
+
+/// Blanket implementation so closures can serve as peer logic in tests and examples.
+impl<F> PeerLogic for F
+where
+    F: FnMut(PeerId, u64, &[Envelope], &mut Outbox),
+{
+    fn on_round(&mut self, peer: PeerId, round: u64, inbox: &[Envelope], outbox: &mut Outbox) {
+        self(peer, round, inbox, outbox)
+    }
+}
+
+/// Generic per-peer bookkeeping kept by the simulator.
+#[derive(Debug, Default, Clone)]
+pub struct PeerState {
+    /// Messages delivered to the peer in the current round.
+    pub inbox: Vec<Envelope>,
+    /// Total messages the peer has received since the start of the simulation.
+    pub received_total: u64,
+    /// Total messages the peer has sent since the start of the simulation.
+    pub sent_total: u64,
+}
+
+impl PeerState {
+    /// Clears the per-round inbox (called by the simulator between rounds).
+    pub fn begin_round(&mut self) {
+        self.inbox.clear();
+    }
+
+    /// Records a delivery.
+    pub fn deliver(&mut self, envelope: Envelope) {
+        self.received_total += 1;
+        self.inbox.push(envelope);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ProbeToken;
+
+    #[test]
+    fn outbox_collects_and_drains() {
+        let mut o = Outbox::default();
+        assert!(o.is_empty());
+        o.send(
+            PeerId(1),
+            Payload::Probe {
+                token: ProbeToken(0),
+                origin: PeerId(0),
+                path: vec![],
+                ttl: 2,
+            },
+        );
+        assert_eq!(o.len(), 1);
+        let drained = o.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn peer_state_counts_deliveries() {
+        let mut s = PeerState::default();
+        s.deliver(Envelope {
+            from: PeerId(0),
+            to: PeerId(1),
+            deliver_at: 0,
+            payload: Payload::Answer {
+                query_id: 1,
+                result_count: 2,
+                complete: true,
+            },
+        });
+        assert_eq!(s.received_total, 1);
+        assert_eq!(s.inbox.len(), 1);
+        s.begin_round();
+        assert!(s.inbox.is_empty());
+        assert_eq!(s.received_total, 1);
+    }
+
+    #[test]
+    fn closures_implement_peer_logic() {
+        let mut calls = 0;
+        {
+            let mut logic = |_p: PeerId, _r: u64, _i: &[Envelope], _o: &mut Outbox| {
+                calls += 1;
+            };
+            let mut outbox = Outbox::default();
+            logic.on_round(PeerId(0), 0, &[], &mut outbox);
+        }
+        assert_eq!(calls, 1);
+    }
+}

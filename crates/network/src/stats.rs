@@ -1,0 +1,158 @@
+//! Communication statistics.
+//!
+//! The paper argues that the periodic schedule costs at most `Σ_ci (l_ci − 1)` extra
+//! messages per peer per period, while the lazy schedule has zero overhead because
+//! belief messages piggyback on query traffic. These counters let the experiments put
+//! numbers on that claim.
+
+use crate::message::Payload;
+use std::collections::BTreeMap;
+
+/// Counters per payload kind plus totals.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    sent: BTreeMap<&'static str, u64>,
+    delivered: BTreeMap<&'static str, u64>,
+    dropped: BTreeMap<&'static str, u64>,
+}
+
+impl NetworkStats {
+    /// Records an attempted send.
+    pub fn record_sent(&mut self, payload: &Payload) {
+        *self.sent.entry(payload.kind()).or_insert(0) += 1;
+    }
+
+    /// Records a delivery.
+    pub fn record_delivered(&mut self, payload: &Payload) {
+        *self.delivered.entry(payload.kind()).or_insert(0) += 1;
+    }
+
+    /// Records a message lost by the transport.
+    pub fn record_dropped(&mut self, payload: &Payload) {
+        *self.dropped.entry(payload.kind()).or_insert(0) += 1;
+    }
+
+    /// Total messages sent (all kinds).
+    pub fn sent_total(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total messages delivered.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+
+    /// Total messages dropped.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Messages sent of one kind (`"probe"`, `"query"`, `"belief"`, …).
+    pub fn sent_of(&self, kind: &str) -> u64 {
+        self.sent.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered of one kind.
+    pub fn delivered_of(&self, kind: &str) -> u64 {
+        self.delivered.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Fraction of sent messages that were delivered (1.0 when nothing was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        let sent = self.sent_total();
+        if sent == 0 {
+            1.0
+        } else {
+            self.delivered_total() as f64 / sent as f64
+        }
+    }
+
+    /// Overhead messages (probes, probe replies, standalone belief messages) sent, i.e.
+    /// traffic that exists only because of the inference scheme.
+    pub fn overhead_sent(&self) -> u64 {
+        self.sent_of("probe") + self.sent_of("probe-reply") + self.sent_of("belief")
+    }
+
+    /// Renders the counters as a small table for reports.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("kind            sent  delivered  dropped\n");
+        let mut kinds: Vec<&&str> = self.sent.keys().collect();
+        kinds.sort();
+        for kind in kinds {
+            out.push_str(&format!(
+                "{:<14} {:>6} {:>10} {:>8}\n",
+                kind,
+                self.sent_of(kind),
+                self.delivered_of(kind),
+                self.dropped.get(*kind).copied().unwrap_or(0)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ProbeToken;
+    use pdms_schema::PeerId;
+
+    fn probe() -> Payload {
+        Payload::Probe {
+            token: ProbeToken(1),
+            origin: PeerId(0),
+            path: vec![],
+            ttl: 1,
+        }
+    }
+
+    fn answer() -> Payload {
+        Payload::Answer {
+            query_id: 1,
+            result_count: 0,
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_by_kind() {
+        let mut s = NetworkStats::default();
+        s.record_sent(&probe());
+        s.record_sent(&probe());
+        s.record_sent(&answer());
+        s.record_delivered(&probe());
+        s.record_dropped(&probe());
+        assert_eq!(s.sent_total(), 3);
+        assert_eq!(s.sent_of("probe"), 2);
+        assert_eq!(s.sent_of("answer"), 1);
+        assert_eq!(s.delivered_total(), 1);
+        assert_eq!(s.dropped_total(), 1);
+        assert_eq!(s.overhead_sent(), 2);
+    }
+
+    #[test]
+    fn delivery_ratio_handles_empty_stats() {
+        let s = NetworkStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delivery_ratio_computes_fraction() {
+        let mut s = NetworkStats::default();
+        for _ in 0..4 {
+            s.record_sent(&probe());
+        }
+        s.record_delivered(&probe());
+        assert!((s.delivery_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_lists_all_kinds() {
+        let mut s = NetworkStats::default();
+        s.record_sent(&probe());
+        s.record_sent(&answer());
+        let text = s.summary();
+        assert!(text.contains("probe"));
+        assert!(text.contains("answer"));
+    }
+}

@@ -1,0 +1,306 @@
+//! The "simple RDF mapping" format: alignment documents between two ontologies.
+//!
+//! The paper's tool reads "simple RDF mappings (following the format introduced in
+//! [18])", i.e. the KnowledgeWeb / INRIA Alignment format also produced by the
+//! alignment API of reference [10]: an `<Alignment>` element naming the two ontologies
+//! and containing one `<Cell>` per correspondence, each with `entity1`, `entity2`, a
+//! `relation` (always `=` for the equivalences this paper deals with) and a confidence
+//! `measure`. This module parses and produces that format.
+
+use crate::error::RdfError;
+use crate::model::vocab;
+use crate::xml::{self, XmlElement};
+
+/// One correspondence of an alignment document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentCell {
+    /// IRI of the source-ontology entity.
+    pub entity1: String,
+    /// IRI of the target-ontology entity.
+    pub entity2: String,
+    /// The relation between the entities (`=` for equivalence).
+    pub relation: String,
+    /// Confidence in `[0, 1]` reported by the matcher.
+    pub measure: f64,
+}
+
+/// An alignment between two ontologies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AlignmentDoc {
+    /// IRI (or name) of the source ontology.
+    pub onto1: String,
+    /// IRI (or name) of the target ontology.
+    pub onto2: String,
+    /// The correspondences.
+    pub cells: Vec<AlignmentCell>,
+}
+
+impl AlignmentDoc {
+    /// Creates an empty alignment between two ontologies.
+    pub fn new(onto1: impl Into<String>, onto2: impl Into<String>) -> Self {
+        Self {
+            onto1: onto1.into(),
+            onto2: onto2.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds an equivalence cell.
+    pub fn add_cell(&mut self, entity1: impl Into<String>, entity2: impl Into<String>, measure: f64) {
+        self.cells.push(AlignmentCell {
+            entity1: entity1.into(),
+            entity2: entity2.into(),
+            relation: "=".to_string(),
+            measure,
+        });
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the alignment has no correspondence.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Parses an alignment document. Both the bare `<Alignment>` root and the usual
+/// `<rdf:RDF><Alignment>…` wrapping are accepted.
+pub fn parse_alignment(input: &str) -> Result<AlignmentDoc, RdfError> {
+    let root = xml::parse(input)?;
+    let alignment = if root.local_name() == "Alignment" {
+        &root
+    } else {
+        root.child_elements()
+            .find(|e| e.local_name() == "Alignment")
+            .ok_or_else(|| RdfError::Structure("no <Alignment> element found".to_string()))?
+    };
+    let onto = |name: &str| -> String {
+        alignment
+            .child_by_local_name(name)
+            .map(|e| {
+                // Either a plain-text IRI or a nested <Ontology rdf:about="…"/>.
+                let nested = e
+                    .child_elements()
+                    .next()
+                    .and_then(|o| o.attribute("rdf:about"))
+                    .map(str::to_string);
+                nested.unwrap_or_else(|| e.text())
+            })
+            .unwrap_or_default()
+    };
+    let onto1 = onto("onto1");
+    let onto2 = onto("onto2");
+    let mut cells = Vec::new();
+    for map in alignment.children_by_local_name("map") {
+        for cell in map.children_by_local_name("Cell") {
+            cells.push(parse_cell(cell)?);
+        }
+    }
+    // Some serialisations put Cells directly under Alignment.
+    for cell in alignment.children_by_local_name("Cell") {
+        cells.push(parse_cell(cell)?);
+    }
+    Ok(AlignmentDoc {
+        onto1,
+        onto2,
+        cells,
+    })
+}
+
+fn parse_cell(cell: &XmlElement) -> Result<AlignmentCell, RdfError> {
+    let entity = |name: &str| -> Result<String, RdfError> {
+        let element = cell
+            .child_by_local_name(name)
+            .ok_or_else(|| RdfError::Structure(format!("alignment cell without <{name}>")))?;
+        if let Some(resource) = element.attribute("rdf:resource") {
+            Ok(resource.to_string())
+        } else {
+            let text = element.text();
+            if text.is_empty() {
+                Err(RdfError::Structure(format!("<{name}> carries no entity reference")))
+            } else {
+                Ok(text)
+            }
+        }
+    };
+    let entity1 = entity("entity1")?;
+    let entity2 = entity("entity2")?;
+    let relation = cell
+        .child_by_local_name("relation")
+        .map(|e| e.text())
+        .filter(|t| !t.is_empty())
+        .unwrap_or_else(|| "=".to_string());
+    let measure = match cell.child_by_local_name("measure") {
+        Some(m) => m
+            .text()
+            .parse::<f64>()
+            .map_err(|_| RdfError::Structure(format!("unparsable measure `{}`", m.text())))?,
+        None => 1.0,
+    };
+    if !(0.0..=1.0).contains(&measure) {
+        return Err(RdfError::Structure(format!("measure {measure} outside [0, 1]")));
+    }
+    Ok(AlignmentCell {
+        entity1,
+        entity2,
+        relation,
+        measure,
+    })
+}
+
+/// Serialises an alignment document in the KnowledgeWeb alignment format.
+pub fn serialize_alignment(doc: &AlignmentDoc) -> String {
+    let mut alignment = XmlElement::new("Alignment")
+        .with_attribute("xmlns", "http://knowledgeweb.semanticweb.org/heterogeneity/alignment")
+        .with_attribute("xmlns:rdf", vocab::RDF_NS)
+        .with_child(XmlElement::new("xml").with_text("yes"))
+        .with_child(XmlElement::new("level").with_text("0"))
+        .with_child(XmlElement::new("type").with_text("**"))
+        .with_child(XmlElement::new("onto1").with_text(doc.onto1.clone()))
+        .with_child(XmlElement::new("onto2").with_text(doc.onto2.clone()));
+    for cell in &doc.cells {
+        let cell_element = XmlElement::new("Cell")
+            .with_child(XmlElement::new("entity1").with_attribute("rdf:resource", cell.entity1.clone()))
+            .with_child(XmlElement::new("entity2").with_attribute("rdf:resource", cell.entity2.clone()))
+            .with_child(XmlElement::new("relation").with_text(cell.relation.clone()))
+            .with_child(XmlElement::new("measure").with_text(format!("{:.6}", cell.measure)));
+        alignment = alignment.with_child(XmlElement::new("map").with_child(cell_element));
+    }
+    xml::serialize(&alignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALIGNMENT: &str = r#"<?xml version='1.0' encoding='utf-8'?>
+<rdf:RDF xmlns='http://knowledgeweb.semanticweb.org/heterogeneity/alignment'
+         xmlns:rdf='http://www.w3.org/1999/02/22-rdf-syntax-ns#'>
+  <Alignment>
+    <xml>yes</xml>
+    <level>0</level>
+    <type>**</type>
+    <onto1><Ontology rdf:about="http://example.org/art"/></onto1>
+    <onto2>http://example.org/winfs</onto2>
+    <map>
+      <Cell>
+        <entity1 rdf:resource="http://example.org/art#Creator"/>
+        <entity2 rdf:resource="http://example.org/winfs#DisplayName"/>
+        <relation>=</relation>
+        <measure rdf:datatype="xsd:float">0.87</measure>
+      </Cell>
+    </map>
+    <map>
+      <Cell>
+        <entity1 rdf:resource="http://example.org/art#CreatedOn"/>
+        <entity2 rdf:resource="http://example.org/winfs#Date"/>
+        <relation>=</relation>
+        <measure>0.65</measure>
+      </Cell>
+    </map>
+  </Alignment>
+</rdf:RDF>"#;
+
+    #[test]
+    fn parses_the_knowledgeweb_format() {
+        let doc = parse_alignment(ALIGNMENT).unwrap();
+        assert_eq!(doc.onto1, "http://example.org/art");
+        assert_eq!(doc.onto2, "http://example.org/winfs");
+        assert_eq!(doc.len(), 2);
+        assert_eq!(doc.cells[0].entity1, "http://example.org/art#Creator");
+        assert_eq!(doc.cells[0].entity2, "http://example.org/winfs#DisplayName");
+        assert_eq!(doc.cells[0].relation, "=");
+        assert!((doc.cells[0].measure - 0.87).abs() < 1e-9);
+        assert!((doc.cells[1].measure - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_entities_and_bad_measures_are_rejected() {
+        let bad_cell = r#"<Alignment><map><Cell>
+            <entity1 rdf:resource="http://a#X"/>
+            <relation>=</relation>
+          </Cell></map></Alignment>"#;
+        assert!(parse_alignment(bad_cell).is_err());
+        let bad_measure = r#"<Alignment><map><Cell>
+            <entity1 rdf:resource="http://a#X"/>
+            <entity2 rdf:resource="http://b#Y"/>
+            <measure>not-a-number</measure>
+          </Cell></map></Alignment>"#;
+        assert!(parse_alignment(bad_measure).is_err());
+        let out_of_range = r#"<Alignment><map><Cell>
+            <entity1 rdf:resource="http://a#X"/>
+            <entity2 rdf:resource="http://b#Y"/>
+            <measure>1.5</measure>
+          </Cell></map></Alignment>"#;
+        assert!(parse_alignment(out_of_range).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_relation_and_measure_are_absent() {
+        let minimal = r#"<Alignment>
+            <onto1>a</onto1><onto2>b</onto2>
+            <map><Cell>
+              <entity1 rdf:resource="http://a#X"/>
+              <entity2 rdf:resource="http://b#Y"/>
+            </Cell></map>
+          </Alignment>"#;
+        let doc = parse_alignment(minimal).unwrap();
+        assert_eq!(doc.cells[0].relation, "=");
+        assert_eq!(doc.cells[0].measure, 1.0);
+    }
+
+    #[test]
+    fn missing_alignment_element_is_an_error() {
+        let err = parse_alignment("<rdf:RDF xmlns:rdf=\"x\"><Other/></rdf:RDF>").unwrap_err();
+        assert!(err.to_string().contains("no <Alignment>"));
+    }
+
+    #[test]
+    fn serialisation_round_trips() {
+        let mut doc = AlignmentDoc::new("http://example.org/art", "http://example.org/winfs");
+        doc.add_cell(
+            "http://example.org/art#Creator",
+            "http://example.org/winfs#DisplayName",
+            0.87,
+        );
+        doc.add_cell(
+            "http://example.org/art#CreatedOn",
+            "http://example.org/winfs#Date",
+            0.653201,
+        );
+        let text = serialize_alignment(&doc);
+        let reparsed = parse_alignment(&text).unwrap();
+        assert_eq!(reparsed.onto1, doc.onto1);
+        assert_eq!(reparsed.onto2, doc.onto2);
+        assert_eq!(reparsed.len(), 2);
+        for (a, b) in doc.cells.iter().zip(&reparsed.cells) {
+            assert_eq!(a.entity1, b.entity1);
+            assert_eq!(a.entity2, b.entity2);
+            assert_eq!(a.relation, b.relation);
+            assert!((a.measure - b.measure).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entities_given_as_text_are_accepted() {
+        let doc = parse_alignment(
+            r#"<Alignment><map><Cell>
+                 <entity1>http://a#X</entity1>
+                 <entity2>http://b#Y</entity2>
+               </Cell></map></Alignment>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.cells[0].entity1, "http://a#X");
+    }
+
+    #[test]
+    fn empty_alignment_reports_empty() {
+        let doc = AlignmentDoc::new("a", "b");
+        assert!(doc.is_empty());
+        let text = serialize_alignment(&doc);
+        assert!(parse_alignment(&text).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types of the RDF substrate.
+//!
+//! Parsing real-world files is the one place in this workspace where failure is an
+//! expected outcome rather than a programming error, so the parsers return `Result`
+//! with these error types instead of panicking.
+
+use std::fmt;
+
+/// An error raised while tokenising or parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input at which the problem was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl XmlError {
+    /// Creates an error at the given byte offset.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// An error raised while interpreting parsed XML as RDF, OWL, or an alignment document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// The underlying XML could not be parsed.
+    Xml(XmlError),
+    /// The document is well-formed XML but not the expected RDF/OWL/alignment shape.
+    Structure(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Xml(e) => write!(f, "{e}"),
+            RdfError::Structure(msg) => write!(f, "RDF structure error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RdfError::Xml(e) => Some(e),
+            RdfError::Structure(_) => None,
+        }
+    }
+}
+
+impl From<XmlError> for RdfError {
+    fn from(e: XmlError) -> Self {
+        RdfError::Xml(e)
+    }
+}
+
+/// An error raised while assembling a PDMS catalog from imported documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// A document failed to parse.
+    Rdf(RdfError),
+    /// An alignment references an ontology that was not imported.
+    UnknownOntology(String),
+    /// An alignment references an entity that does not exist in its ontology.
+    UnknownEntity {
+        /// The ontology the entity was looked up in.
+        ontology: String,
+        /// The entity IRI or local name that could not be resolved.
+        entity: String,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Rdf(e) => write!(f, "{e}"),
+            ImportError::UnknownOntology(name) => {
+                write!(f, "alignment references unknown ontology `{name}`")
+            }
+            ImportError::UnknownEntity { ontology, entity } => {
+                write!(f, "alignment references unknown entity `{entity}` in ontology `{ontology}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImportError::Rdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RdfError> for ImportError {
+    fn from(e: RdfError) -> Self {
+        ImportError::Rdf(e)
+    }
+}
+
+impl From<XmlError> for ImportError {
+    fn from(e: XmlError) -> Self {
+        ImportError::Rdf(RdfError::Xml(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = XmlError::new(42, "unexpected `<`");
+        assert_eq!(e.to_string(), "XML error at byte 42: unexpected `<`");
+    }
+
+    #[test]
+    fn conversions_wrap_the_source() {
+        let xml = XmlError::new(0, "boom");
+        let rdf: RdfError = xml.clone().into();
+        assert!(matches!(rdf, RdfError::Xml(_)));
+        let import: ImportError = rdf.into();
+        assert!(import.to_string().contains("boom"));
+        let import2: ImportError = xml.into();
+        assert!(matches!(import2, ImportError::Rdf(_)));
+    }
+
+    #[test]
+    fn structure_and_entity_errors_are_descriptive() {
+        let e = RdfError::Structure("missing rdf:RDF root".into());
+        assert!(e.to_string().contains("missing rdf:RDF root"));
+        let e = ImportError::UnknownEntity {
+            ontology: "bibtex".into(),
+            entity: "#Creator".into(),
+        };
+        assert!(e.to_string().contains("bibtex"));
+        assert!(e.to_string().contains("#Creator"));
+        let e = ImportError::UnknownOntology("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn error_sources_are_chained() {
+        use std::error::Error;
+        let import: ImportError = XmlError::new(1, "x").into();
+        assert!(import.source().is_some());
+        let structural = ImportError::UnknownOntology("o".into());
+        assert!(structural.source().is_none());
+    }
+}

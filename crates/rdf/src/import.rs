@@ -1,0 +1,441 @@
+//! Assembling a PDMS catalog from imported ontology and alignment documents — and
+//! exporting a catalog back to the same formats.
+//!
+//! This is the programmatic equivalent of the paper's evaluation tool (Section 5.2):
+//! OWL documents become peers (one schema per ontology, one attribute per concept),
+//! alignment documents become directed mappings, and the resulting
+//! [`pdms_schema::Catalog`] can be handed straight to the inference engine. The inverse
+//! direction serialises any catalog as a set of OWL + alignment files, so generated
+//! workloads can be exchanged with external tools and re-imported losslessly.
+
+use crate::alignment::{serialize_alignment, AlignmentDoc};
+use crate::error::ImportError;
+use crate::model::iri_local_name;
+use crate::owl::{schema_base_iri, schema_to_owl_xml, Ontology};
+use pdms_schema::{AttributeId, Catalog, MappingId, PeerId};
+use std::collections::BTreeMap;
+
+/// How a correspondence should be judged when ground truth is available at import time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Judgement {
+    /// The proposed target is semantically right.
+    Correct,
+    /// The proposed target is wrong; the right target is the named attribute (or no
+    /// right target exists when `None`).
+    Erroneous(Option<AttributeId>),
+    /// No ground truth available; the correspondence is imported unjudged.
+    Unknown,
+}
+
+/// The result of an import: the catalog plus the bookkeeping needed to refer back to
+/// the source documents.
+#[derive(Debug, Clone)]
+pub struct CatalogImport {
+    /// The assembled catalog.
+    pub catalog: Catalog,
+    /// Peer created for each ontology, by ontology name.
+    pub peer_of_ontology: BTreeMap<String, PeerId>,
+    /// For every imported alignment, the mapping it became (alignments whose cells all
+    /// failed to resolve produce no mapping and are reported as `None`).
+    pub mapping_of_alignment: Vec<Option<MappingId>>,
+    /// Number of correspondences imported.
+    pub imported_correspondences: usize,
+    /// Number of cells skipped because their relation was not an equivalence.
+    pub skipped_non_equivalence: usize,
+}
+
+/// Imports ontologies and alignments into a catalog, leaving every correspondence
+/// unjudged (the realistic situation: imported mappings come with no ground truth).
+pub fn import_catalog(
+    ontologies: &[Ontology],
+    alignments: &[AlignmentDoc],
+) -> Result<CatalogImport, ImportError> {
+    import_catalog_with_oracle(ontologies, alignments, |_, _, _, _| Judgement::Unknown)
+}
+
+/// Imports ontologies and alignments, consulting `oracle` for the ground truth of every
+/// correspondence. The oracle receives `(source ontology name, source attribute name,
+/// target ontology name, proposed target attribute name)`.
+pub fn import_catalog_with_oracle(
+    ontologies: &[Ontology],
+    alignments: &[AlignmentDoc],
+    oracle: impl Fn(&str, &str, &str, &str) -> Judgement,
+) -> Result<CatalogImport, ImportError> {
+    let mut catalog = Catalog::new();
+    let mut peer_of_ontology: BTreeMap<String, PeerId> = BTreeMap::new();
+    // Per peer: resolution table from concept IRI / name to the attribute id.
+    let mut resolution: Vec<BTreeMap<String, AttributeId>> = Vec::new();
+
+    for ontology in ontologies {
+        let mut table: BTreeMap<String, AttributeId> = BTreeMap::new();
+        let concepts = ontology.concepts.clone();
+        let peer = catalog.add_peer_with_schema(ontology.name.clone(), |schema| {
+            let mut used: BTreeMap<String, usize> = BTreeMap::new();
+            for concept in &concepts {
+                // Attribute names must be unique within a schema; disambiguate clashes
+                // (same local name under different namespaces) with a numeric suffix.
+                let base = concept.name.clone();
+                let count = used.entry(base.clone()).or_insert(0);
+                let name = if *count == 0 {
+                    base.clone()
+                } else {
+                    format!("{base}_{count}")
+                };
+                *count += 1;
+                let id = schema.attribute_with_kind(name, concept.kind);
+                table.insert(concept.iri.clone(), id);
+                table.entry(concept.name.clone()).or_insert(id);
+                if let Some(label) = &concept.label {
+                    table.entry(label.clone()).or_insert(id);
+                }
+            }
+        });
+        peer_of_ontology.insert(ontology.name.clone(), peer);
+        debug_assert_eq!(peer.0, resolution.len());
+        resolution.push(table);
+    }
+
+    // Secondary lookup: ontology base IRI → name, so alignments can reference either.
+    let mut ontology_by_reference: BTreeMap<String, String> = BTreeMap::new();
+    for ontology in ontologies {
+        ontology_by_reference.insert(ontology.name.clone(), ontology.name.clone());
+        if let Some(base) = &ontology.base_iri {
+            ontology_by_reference.insert(base.clone(), ontology.name.clone());
+            ontology_by_reference.insert(format!("{base}#"), ontology.name.clone());
+        }
+    }
+
+    let resolve_ontology = |reference: &str| -> Result<String, ImportError> {
+        if let Some(name) = ontology_by_reference.get(reference) {
+            return Ok(name.clone());
+        }
+        let local = iri_local_name(reference);
+        if let Some(name) = ontology_by_reference.get(local) {
+            return Ok(name.clone());
+        }
+        Err(ImportError::UnknownOntology(reference.to_string()))
+    };
+
+    let mut mapping_of_alignment = Vec::with_capacity(alignments.len());
+    let mut imported_correspondences = 0usize;
+    let mut skipped_non_equivalence = 0usize;
+
+    for alignment in alignments {
+        let source_name = resolve_ontology(&alignment.onto1)?;
+        let target_name = resolve_ontology(&alignment.onto2)?;
+        let source = peer_of_ontology[&source_name];
+        let target = peer_of_ontology[&target_name];
+
+        // Resolve every cell up front so unknown entities fail the import instead of
+        // silently shrinking the mapping.
+        let mut resolved: Vec<(AttributeId, AttributeId, String, String)> = Vec::new();
+        for cell in &alignment.cells {
+            if cell.relation != "=" {
+                skipped_non_equivalence += 1;
+                continue;
+            }
+            let source_attr = resolve_entity(&resolution[source.0], &cell.entity1).ok_or_else(|| {
+                ImportError::UnknownEntity {
+                    ontology: source_name.clone(),
+                    entity: cell.entity1.clone(),
+                }
+            })?;
+            let target_attr = resolve_entity(&resolution[target.0], &cell.entity2).ok_or_else(|| {
+                ImportError::UnknownEntity {
+                    ontology: target_name.clone(),
+                    entity: cell.entity2.clone(),
+                }
+            })?;
+            resolved.push((
+                source_attr,
+                target_attr,
+                iri_local_name(&cell.entity1).to_string(),
+                iri_local_name(&cell.entity2).to_string(),
+            ));
+        }
+        if resolved.is_empty() {
+            mapping_of_alignment.push(None);
+            continue;
+        }
+        imported_correspondences += resolved.len();
+        let mapping = catalog.add_mapping(source, target, |mut m| {
+            for (source_attr, target_attr, source_local, target_local) in &resolved {
+                m = match oracle(&source_name, source_local, &target_name, target_local) {
+                    Judgement::Correct => m.correct(*source_attr, *target_attr),
+                    Judgement::Erroneous(Some(expected)) => {
+                        m.erroneous(*source_attr, *target_attr, expected)
+                    }
+                    Judgement::Erroneous(None) => {
+                        // No right answer exists in the target schema: point the
+                        // expectation at an out-of-range attribute so the ground truth
+                        // records "always wrong".
+                        m.erroneous(*source_attr, *target_attr, AttributeId(usize::MAX / 2))
+                    }
+                    Judgement::Unknown => m.unjudged(*source_attr, *target_attr),
+                };
+            }
+            m
+        });
+        mapping_of_alignment.push(Some(mapping));
+    }
+
+    Ok(CatalogImport {
+        catalog,
+        peer_of_ontology,
+        mapping_of_alignment,
+        imported_correspondences,
+        skipped_non_equivalence,
+    })
+}
+
+fn resolve_entity(table: &BTreeMap<String, AttributeId>, reference: &str) -> Option<AttributeId> {
+    if let Some(id) = table.get(reference) {
+        return Some(*id);
+    }
+    table.get(iri_local_name(reference)).copied()
+}
+
+/// One alignment document per mapping of a catalog, with entity IRIs derived from the
+/// exported schema base IRIs ([`schema_base_iri`]).
+pub fn export_alignments(catalog: &Catalog) -> Vec<AlignmentDoc> {
+    catalog
+        .mappings()
+        .map(|mapping_id| {
+            let (source, target) = catalog.mapping_endpoints(mapping_id);
+            let source_schema = catalog.peer_schema(source);
+            let target_schema = catalog.peer_schema(target);
+            let source_base = schema_base_iri(source_schema.name());
+            let target_base = schema_base_iri(target_schema.name());
+            let mut doc = AlignmentDoc::new(
+                source_base.trim_end_matches('#'),
+                target_base.trim_end_matches('#'),
+            );
+            for (source_attr, correspondence) in catalog.mapping(mapping_id).correspondences() {
+                let source_name = &source_schema
+                    .attribute(source_attr)
+                    .expect("catalog mappings reference existing attributes")
+                    .name;
+                let target_name = &target_schema
+                    .attribute(correspondence.target)
+                    .expect("catalog mappings reference existing attributes")
+                    .name;
+                doc.add_cell(
+                    format!("{source_base}{}", sanitize(source_name)),
+                    format!("{target_base}{}", sanitize(target_name)),
+                    1.0,
+                );
+            }
+            doc
+        })
+        .collect()
+}
+
+/// A full export of a catalog: one OWL document per peer and one alignment document per
+/// mapping, as strings ready to be written to files.
+#[derive(Debug, Clone)]
+pub struct CatalogExport {
+    /// `(peer name, OWL RDF/XML document)` in peer order.
+    pub ontologies: Vec<(String, String)>,
+    /// Serialised alignment documents, in mapping order.
+    pub alignments: Vec<String>,
+}
+
+/// Exports a catalog as OWL + alignment documents.
+pub fn export_catalog(catalog: &Catalog) -> CatalogExport {
+    let ontologies = catalog
+        .peers()
+        .map(|peer| {
+            (
+                catalog.peer_name(peer).to_string(),
+                schema_to_owl_xml(catalog.peer_schema(peer)),
+            )
+        })
+        .collect();
+    let alignments = export_alignments(catalog)
+        .iter()
+        .map(serialize_alignment)
+        .collect();
+    CatalogExport {
+        ontologies,
+        alignments,
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::parse_alignment;
+    use crate::owl::parse_ontology;
+    use pdms_schema::AttributeKind;
+
+    fn art_ontology() -> Ontology {
+        parse_ontology(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                 xmlns:owl="http://www.w3.org/2002/07/owl#"
+                 xml:base="http://example.org/art">
+              <owl:Ontology rdf:about="http://example.org/art"/>
+              <owl:Class rdf:ID="Creator"/>
+              <owl:Class rdf:ID="Item"/>
+              <owl:Class rdf:ID="CreatedOn"/>
+            </rdf:RDF>"#,
+            "art",
+        )
+        .unwrap()
+    }
+
+    fn winfs_ontology() -> Ontology {
+        parse_ontology(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                 xmlns:owl="http://www.w3.org/2002/07/owl#"
+                 xml:base="http://example.org/winfs">
+              <owl:Ontology rdf:about="http://example.org/winfs"/>
+              <owl:Class rdf:ID="DisplayName"/>
+              <owl:Class rdf:ID="Keyword"/>
+              <owl:Class rdf:ID="Date"/>
+            </rdf:RDF>"#,
+            "winfs",
+        )
+        .unwrap()
+    }
+
+    fn creator_alignment() -> AlignmentDoc {
+        let mut doc = AlignmentDoc::new("http://example.org/art", "http://example.org/winfs");
+        doc.add_cell(
+            "http://example.org/art#Creator",
+            "http://example.org/winfs#DisplayName",
+            0.9,
+        );
+        doc.add_cell(
+            "http://example.org/art#CreatedOn",
+            "http://example.org/winfs#Date",
+            0.7,
+        );
+        doc
+    }
+
+    #[test]
+    fn import_builds_peers_and_mappings() {
+        let import = import_catalog(&[art_ontology(), winfs_ontology()], &[creator_alignment()]).unwrap();
+        assert_eq!(import.catalog.peer_count(), 2);
+        assert_eq!(import.catalog.mapping_count(), 1);
+        assert_eq!(import.imported_correspondences, 2);
+        let art = import.peer_of_ontology["art"];
+        let schema = import.catalog.peer_schema(art);
+        assert_eq!(schema.attribute_count(), 3);
+        assert_eq!(schema.attribute_by_name("Creator").unwrap().kind, AttributeKind::Class);
+        // The imported mapping routes Creator to DisplayName.
+        let mapping = import.catalog.mapping(import.mapping_of_alignment[0].unwrap());
+        let creator = schema.attribute_by_name("Creator").unwrap().id;
+        let winfs = import.peer_of_ontology["winfs"];
+        let target_schema = import.catalog.peer_schema(winfs);
+        assert_eq!(
+            mapping.apply(creator),
+            Some(target_schema.attribute_by_name("DisplayName").unwrap().id)
+        );
+        // Unjudged correspondences count as correct by convention.
+        assert!(mapping.is_correct());
+    }
+
+    #[test]
+    fn oracle_judgements_become_ground_truth() {
+        let import = import_catalog_with_oracle(
+            &[art_ontology(), winfs_ontology()],
+            &[creator_alignment()],
+            |_, source_attr, _, _| {
+                if source_attr == "CreatedOn" {
+                    Judgement::Erroneous(None)
+                } else {
+                    Judgement::Correct
+                }
+            },
+        )
+        .unwrap();
+        let mapping = import.catalog.mapping(MappingId(0));
+        assert!(!mapping.is_correct());
+        assert_eq!(mapping.error_count(), 1);
+        assert_eq!(import.catalog.erroneous_mapping_count(), 1);
+    }
+
+    #[test]
+    fn unknown_ontology_and_entity_are_reported() {
+        let err = import_catalog(&[art_ontology()], &[creator_alignment()]).unwrap_err();
+        assert!(matches!(err, ImportError::UnknownOntology(_)));
+
+        let mut bad_entity = AlignmentDoc::new("http://example.org/art", "http://example.org/winfs");
+        bad_entity.add_cell("http://example.org/art#NoSuch", "http://example.org/winfs#Date", 0.5);
+        let err = import_catalog(&[art_ontology(), winfs_ontology()], &[bad_entity]).unwrap_err();
+        assert!(matches!(err, ImportError::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn non_equivalence_cells_are_skipped() {
+        let mut doc = creator_alignment();
+        doc.cells[1].relation = "<".to_string();
+        let import = import_catalog(&[art_ontology(), winfs_ontology()], &[doc]).unwrap();
+        assert_eq!(import.imported_correspondences, 1);
+        assert_eq!(import.skipped_non_equivalence, 1);
+    }
+
+    #[test]
+    fn alignment_with_no_usable_cell_produces_no_mapping() {
+        let mut doc = AlignmentDoc::new("http://example.org/art", "http://example.org/winfs");
+        doc.add_cell("http://example.org/art#Creator", "http://example.org/winfs#DisplayName", 0.9);
+        doc.cells[0].relation = "<".into();
+        let import = import_catalog(&[art_ontology(), winfs_ontology()], &[doc]).unwrap();
+        assert_eq!(import.catalog.mapping_count(), 0);
+        assert_eq!(import.mapping_of_alignment, vec![None]);
+    }
+
+    #[test]
+    fn export_then_import_round_trips_the_structure() {
+        // Build a small catalog directly, export it to documents, re-import the
+        // documents, and compare the structure.
+        let mut catalog = Catalog::new();
+        let a = catalog.add_peer_with_schema("ArtDatabank", |s| {
+            s.attributes(["Creator", "Item", "CreatedOn"]);
+        });
+        let b = catalog.add_peer_with_schema("WinFS", |s| {
+            s.attributes(["DisplayName", "Keyword", "Date"]);
+        });
+        catalog.add_mapping(a, b, |m| {
+            m.correct(AttributeId(0), AttributeId(0))
+                .correct(AttributeId(2), AttributeId(2))
+        });
+        catalog.add_mapping(b, a, |m| m.correct(AttributeId(0), AttributeId(0)));
+
+        let export = export_catalog(&catalog);
+        assert_eq!(export.ontologies.len(), 2);
+        assert_eq!(export.alignments.len(), 2);
+
+        let ontologies: Vec<Ontology> = export
+            .ontologies
+            .iter()
+            .map(|(name, xml)| parse_ontology(xml, name).unwrap())
+            .collect();
+        let alignments: Vec<AlignmentDoc> = export
+            .alignments
+            .iter()
+            .map(|xml| parse_alignment(xml).unwrap())
+            .collect();
+        let import = import_catalog(&ontologies, &alignments).unwrap();
+
+        assert_eq!(import.catalog.peer_count(), catalog.peer_count());
+        assert_eq!(import.catalog.mapping_count(), catalog.mapping_count());
+        for mapping_id in catalog.mappings() {
+            let original = catalog.mapping(mapping_id);
+            let reimported = import.catalog.mapping(mapping_id);
+            assert_eq!(original.correspondence_count(), reimported.correspondence_count());
+            // Attribute ids line up because both schemas list attributes in the same
+            // order, so apply() must give the same answers.
+            for (source_attr, correspondence) in original.correspondences() {
+                assert_eq!(reimported.apply(source_attr), Some(correspondence.target));
+            }
+        }
+    }
+}

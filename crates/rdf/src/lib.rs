@@ -1,0 +1,43 @@
+//! RDF / OWL / alignment-document substrate for the PDMS reproduction.
+//!
+//! Section 5.2 of the paper describes a tool that "can import OWL schemas (serialized
+//! in RDF/XML) and simple RDF mappings", turns them into a PDMS, and runs the message
+//! passing machinery over them. This crate is that ingestion layer, built from scratch
+//! (no XML or RDF crates):
+//!
+//! * [`xml`] — a minimal XML reader/writer for the subset ontology documents use;
+//! * [`model`] — RDF terms, triples, and an in-memory triple store with pattern lookups;
+//! * [`rdfxml`] — RDF/XML parsing and serialisation;
+//! * [`owl`] — extraction of classes and properties from OWL documents into
+//!   [`pdms_schema::Schema`] attribute inventories, and the reverse export;
+//! * [`alignment`] — the KnowledgeWeb/INRIA alignment format for pairwise mappings;
+//! * [`import`] — assembling a [`pdms_schema::Catalog`] from imported documents and
+//!   exporting any catalog back to OWL + alignment files.
+//!
+//! Together with `pdms-workloads` this lets the examples exercise the full external
+//! loop the paper describes: generate or obtain ontologies, align them, write the
+//! documents to disk, re-import them, and assess the mappings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod error;
+pub mod import;
+pub mod model;
+pub mod owl;
+pub mod rdfxml;
+pub mod xml;
+
+pub use alignment::{parse_alignment, serialize_alignment, AlignmentCell, AlignmentDoc};
+pub use error::{ImportError, RdfError, XmlError};
+pub use import::{
+    export_alignments, export_catalog, import_catalog, import_catalog_with_oracle, CatalogExport,
+    CatalogImport, Judgement,
+};
+pub use model::{iri_local_name, vocab, RdfGraph, Term, Triple};
+pub use owl::{
+    catalog_to_owl_xml, extract_ontology, parse_ontology, schema_to_owl_xml, Ontology, OwlConcept,
+};
+pub use rdfxml::{parse_rdf_xml, serialize_rdf_xml};
+pub use xml::{XmlElement, XmlNode};

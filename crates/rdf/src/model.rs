@@ -1,0 +1,314 @@
+//! The RDF data model: terms, triples, and an in-memory triple store.
+//!
+//! Only the features needed to interpret OWL ontology documents and simple RDF mapping
+//! documents are implemented: IRIs, blank nodes, plain/typed literals, and a triple
+//! store with pattern lookups. SPARQL, reification, named graphs and datatype semantics
+//! are out of scope.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Well-known vocabulary IRIs used by the OWL extractor and the serializers.
+pub mod vocab {
+    /// The RDF namespace.
+    pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// The RDFS namespace.
+    pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// The OWL namespace.
+    pub const OWL_NS: &str = "http://www.w3.org/2002/07/owl#";
+    /// `rdf:type`.
+    pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdfs:label`.
+    pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:comment`.
+    pub const RDFS_COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+    /// `rdfs:subClassOf`.
+    pub const RDFS_SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// `rdfs:domain`.
+    pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    /// `rdfs:range`.
+    pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    /// `owl:Ontology`.
+    pub const OWL_ONTOLOGY: &str = "http://www.w3.org/2002/07/owl#Ontology";
+    /// `owl:Class`.
+    pub const OWL_CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    /// `owl:ObjectProperty`.
+    pub const OWL_OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    /// `owl:DatatypeProperty`.
+    pub const OWL_DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+}
+
+/// An RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// An IRI reference.
+    Iri(String),
+    /// A blank node with a document-scoped label.
+    Blank(String),
+    /// A literal with an optional language tag or datatype IRI.
+    Literal {
+        /// The lexical value.
+        value: String,
+        /// Language tag (`xml:lang`), if any.
+        language: Option<String>,
+        /// Datatype IRI, if any.
+        datatype: Option<String>,
+    },
+}
+
+impl Term {
+    /// Convenience constructor for an IRI term.
+    pub fn iri(value: impl Into<String>) -> Self {
+        Term::Iri(value.into())
+    }
+
+    /// Convenience constructor for a plain literal.
+    pub fn literal(value: impl Into<String>) -> Self {
+        Term::Literal {
+            value: value.into(),
+            language: None,
+            datatype: None,
+        }
+    }
+
+    /// The IRI string, when the term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// The literal value, when the term is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Term::Literal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The fragment or final path segment of an IRI — the "local name" used to match
+    /// ontology entities to schema attributes.
+    pub fn local_name(&self) -> Option<&str> {
+        self.as_iri().map(iri_local_name)
+    }
+}
+
+/// The fragment (after `#`) or last path segment (after the final `/`) of an IRI.
+pub fn iri_local_name(iri: &str) -> &str {
+    if let Some((_, frag)) = iri.rsplit_once('#') {
+        frag
+    } else if let Some((_, seg)) = iri.rsplit_once('/') {
+        seg
+    } else {
+        iri
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::Blank(label) => write!(f, "_:{label}"),
+            Term::Literal {
+                value,
+                language,
+                datatype,
+            } => {
+                write!(f, "\"{value}\"")?;
+                if let Some(lang) = language {
+                    write!(f, "@{lang}")?;
+                }
+                if let Some(dt) = datatype {
+                    write!(f, "^^<{dt}>")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One RDF statement.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// The subject (an IRI or blank node).
+    pub subject: Term,
+    /// The predicate IRI.
+    pub predicate: String,
+    /// The object term.
+    pub object: Term,
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <{}> {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// An in-memory set of triples with pattern lookups.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RdfGraph {
+    triples: Vec<Triple>,
+}
+
+impl RdfGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a triple (duplicates are kept out).
+    pub fn add(&mut self, subject: Term, predicate: impl Into<String>, object: Term) {
+        let triple = Triple {
+            subject,
+            predicate: predicate.into(),
+            object,
+        };
+        if !self.triples.contains(&triple) {
+            self.triples.push(triple);
+        }
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the graph holds no triple.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples in insertion order.
+    pub fn triples(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// Triples matching an optional subject / predicate / object pattern (`None` is a
+    /// wildcard).
+    pub fn matching<'a>(
+        &'a self,
+        subject: Option<&Term>,
+        predicate: Option<&str>,
+        object: Option<&Term>,
+    ) -> impl Iterator<Item = &'a Triple> + 'a {
+        let subject = subject.cloned();
+        let predicate = predicate.map(str::to_string);
+        let object = object.cloned();
+        self.triples.iter().filter(move |t| {
+            subject.as_ref().is_none_or(|s| &t.subject == s)
+                && predicate.as_deref().is_none_or(|p| t.predicate == p)
+                && object.as_ref().is_none_or(|o| &t.object == o)
+        })
+    }
+
+    /// Objects of all triples with the given subject and predicate.
+    pub fn objects(&self, subject: &Term, predicate: &str) -> Vec<&Term> {
+        self.matching(Some(subject), Some(predicate), None)
+            .map(|t| &t.object)
+            .collect()
+    }
+
+    /// Subjects of all triples with the given predicate and object.
+    pub fn subjects(&self, predicate: &str, object: &Term) -> Vec<&Term> {
+        self.matching(None, Some(predicate), Some(object))
+            .map(|t| &t.subject)
+            .collect()
+    }
+
+    /// Subjects whose `rdf:type` is the given class IRI, deduplicated and sorted.
+    pub fn subjects_of_type(&self, class_iri: &str) -> Vec<&Term> {
+        let class = Term::iri(class_iri);
+        let set: BTreeSet<&Term> = self
+            .subjects(vocab::RDF_TYPE, &class)
+            .into_iter()
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The first literal object of `(subject, predicate)`, if any.
+    pub fn literal(&self, subject: &Term, predicate: &str) -> Option<&str> {
+        self.objects(subject, predicate)
+            .into_iter()
+            .find_map(|o| o.as_literal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RdfGraph {
+        let mut g = RdfGraph::new();
+        let creator = Term::iri("http://example.org/art#Creator");
+        g.add(creator.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+        g.add(creator.clone(), vocab::RDFS_LABEL, Term::literal("Creator"));
+        g.add(
+            Term::iri("http://example.org/art#painted"),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_OBJECT_PROPERTY),
+        );
+        g
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut g = sample();
+        let before = g.len();
+        g.add(
+            Term::iri("http://example.org/art#Creator"),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_CLASS),
+        );
+        assert_eq!(g.len(), before);
+    }
+
+    #[test]
+    fn pattern_lookups_work() {
+        let g = sample();
+        let creator = Term::iri("http://example.org/art#Creator");
+        assert_eq!(g.objects(&creator, vocab::RDF_TYPE).len(), 1);
+        assert_eq!(g.subjects_of_type(vocab::OWL_CLASS).len(), 1);
+        assert_eq!(g.subjects_of_type(vocab::OWL_OBJECT_PROPERTY).len(), 1);
+        assert_eq!(g.literal(&creator, vocab::RDFS_LABEL), Some("Creator"));
+        assert_eq!(g.matching(None, None, None).count(), 3);
+    }
+
+    #[test]
+    fn local_names_strip_namespace() {
+        assert_eq!(iri_local_name("http://example.org/art#Creator"), "Creator");
+        assert_eq!(iri_local_name("http://example.org/art/Creator"), "Creator");
+        assert_eq!(iri_local_name("Creator"), "Creator");
+        assert_eq!(
+            Term::iri("http://example.org/art#Creator").local_name(),
+            Some("Creator")
+        );
+        assert_eq!(Term::literal("x").local_name(), None);
+    }
+
+    #[test]
+    fn term_display_follows_ntriples_conventions() {
+        assert_eq!(Term::iri("http://a#X").to_string(), "<http://a#X>");
+        assert_eq!(Term::Blank("b0".into()).to_string(), "_:b0");
+        let lit = Term::Literal {
+            value: "publication".into(),
+            language: Some("en".into()),
+            datatype: None,
+        };
+        assert_eq!(lit.to_string(), "\"publication\"@en");
+        let triple = Triple {
+            subject: Term::iri("http://a#X"),
+            predicate: vocab::RDF_TYPE.into(),
+            object: Term::iri(vocab::OWL_CLASS),
+        };
+        assert!(triple.to_string().ends_with("."));
+    }
+
+    #[test]
+    fn empty_graph_reports_empty() {
+        let g = RdfGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.subjects_of_type(vocab::OWL_CLASS).len(), 0);
+    }
+}

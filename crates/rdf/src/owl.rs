@@ -1,0 +1,272 @@
+//! OWL ontology extraction: from RDF triples to PDMS schemas and back.
+//!
+//! The paper's evaluation tool "can import OWL schemas (serialized in RDF/XML)"
+//! (Section 5.2). For the PDMS model only the concept inventory matters: the classes
+//! and properties an ontology declares become the *attributes* of the corresponding
+//! peer schema (Section 2 explicitly lists RDF classes and properties among the
+//! attribute kinds). This module extracts that inventory from a parsed [`RdfGraph`],
+//! converts it to a [`pdms_schema::Schema`] description, and serialises schemas back to
+//! OWL so generated workloads can be exchanged as ordinary ontology files.
+
+use crate::error::RdfError;
+use crate::model::{iri_local_name, vocab, RdfGraph, Term};
+use crate::rdfxml::{parse_rdf_xml, serialize_rdf_xml};
+use pdms_schema::{AttributeKind, Catalog, PeerId, Schema};
+
+/// One concept (class or property) of an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwlConcept {
+    /// Full IRI of the concept.
+    pub iri: String,
+    /// Local name (IRI fragment), used as the attribute name.
+    pub name: String,
+    /// `rdfs:label`, when present.
+    pub label: Option<String>,
+    /// The attribute kind the concept maps to.
+    pub kind: AttributeKind,
+}
+
+/// An ontology: a named collection of concepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ontology {
+    /// The ontology name (the local name of the `owl:Ontology` IRI, or a caller-chosen
+    /// name when the document declares none).
+    pub name: String,
+    /// Base IRI of the ontology (the `owl:Ontology` subject, when declared).
+    pub base_iri: Option<String>,
+    /// The concepts in document order.
+    pub concepts: Vec<OwlConcept>,
+}
+
+impl Ontology {
+    /// Number of concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Finds a concept by IRI or by local name.
+    pub fn concept(&self, reference: &str) -> Option<&OwlConcept> {
+        self.concepts
+            .iter()
+            .find(|c| c.iri == reference || c.name == reference || c.name == iri_local_name(reference))
+    }
+}
+
+/// Extracts an ontology from a parsed RDF graph.
+///
+/// `fallback_name` is used when the document declares no `owl:Ontology` node.
+pub fn extract_ontology(graph: &RdfGraph, fallback_name: &str) -> Result<Ontology, RdfError> {
+    let ontology_node = graph.subjects_of_type(vocab::OWL_ONTOLOGY).into_iter().next();
+    let base_iri = ontology_node.and_then(|t| t.as_iri()).map(str::to_string);
+    let name = base_iri
+        .as_deref()
+        .map(iri_local_name)
+        .filter(|n| !n.is_empty())
+        .unwrap_or(fallback_name)
+        .to_string();
+
+    // Walk the triples in document order so concept indices follow the order in which
+    // the source document declares its entities (this keeps attribute ids stable across
+    // an export → import round trip).
+    let mut concepts: Vec<OwlConcept> = Vec::new();
+    for triple in graph.triples() {
+        if triple.predicate != vocab::RDF_TYPE {
+            continue;
+        }
+        let kind = match triple.object.as_iri() {
+            Some(vocab::OWL_CLASS) => AttributeKind::Class,
+            Some(vocab::OWL_OBJECT_PROPERTY) | Some(vocab::OWL_DATATYPE_PROPERTY) => {
+                AttributeKind::Property
+            }
+            _ => continue,
+        };
+        let Some(iri) = triple.subject.as_iri() else {
+            continue; // anonymous classes (restrictions) carry no concept name
+        };
+        let name = iri_local_name(iri).to_string();
+        if name.is_empty() || concepts.iter().any(|c| c.iri == iri) {
+            continue;
+        }
+        let label = graph.literal(&triple.subject, vocab::RDFS_LABEL).map(str::to_string);
+        concepts.push(OwlConcept {
+            iri: iri.to_string(),
+            name,
+            label,
+            kind,
+        });
+    }
+    if concepts.is_empty() {
+        return Err(RdfError::Structure(format!(
+            "ontology `{name}` declares no classes or properties"
+        )));
+    }
+    Ok(Ontology {
+        name,
+        base_iri,
+        concepts,
+    })
+}
+
+/// Parses an RDF/XML document and extracts its ontology in one step.
+pub fn parse_ontology(input: &str, fallback_name: &str) -> Result<Ontology, RdfError> {
+    let graph = parse_rdf_xml(input)?;
+    extract_ontology(&graph, fallback_name)
+}
+
+/// Renders a PDMS schema as an OWL ontology graph: one `owl:Class` or property per
+/// attribute, under the base IRI `http://pdms.example.org/<schema name>#`.
+pub fn schema_to_rdf(schema: &Schema) -> RdfGraph {
+    let base = schema_base_iri(schema.name());
+    let mut graph = RdfGraph::new();
+    graph.add(
+        Term::iri(base.trim_end_matches('#')),
+        vocab::RDF_TYPE,
+        Term::iri(vocab::OWL_ONTOLOGY),
+    );
+    for attribute in schema.attributes() {
+        let iri = format!("{base}{}", sanitize_local_name(&attribute.name));
+        let class_iri = match attribute.kind {
+            AttributeKind::Property => vocab::OWL_OBJECT_PROPERTY,
+            _ => vocab::OWL_CLASS,
+        };
+        graph.add(Term::iri(iri.clone()), vocab::RDF_TYPE, Term::iri(class_iri));
+        graph.add(
+            Term::iri(iri),
+            vocab::RDFS_LABEL,
+            Term::literal(attribute.name.clone()),
+        );
+    }
+    graph
+}
+
+/// Serialises a PDMS schema as an OWL RDF/XML document.
+pub fn schema_to_owl_xml(schema: &Schema) -> String {
+    serialize_rdf_xml(&schema_to_rdf(schema))
+}
+
+/// Serialises the schema of every peer of a catalog, in peer order.
+pub fn catalog_to_owl_xml(catalog: &Catalog) -> Vec<(PeerId, String)> {
+    catalog
+        .peers()
+        .map(|peer| (peer, schema_to_owl_xml(catalog.peer_schema(peer))))
+        .collect()
+}
+
+/// The base IRI used when exporting a schema.
+pub fn schema_base_iri(schema_name: &str) -> String {
+    format!("http://pdms.example.org/{}#", sanitize_local_name(schema_name))
+}
+
+/// Replaces characters that cannot appear in an IRI fragment.
+fn sanitize_local_name(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdms_schema::SchemaBuilder;
+    use pdms_schema::SchemaId;
+
+    const DOC: &str = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/bibtex-mit">
+  <owl:Ontology rdf:about="http://example.org/bibtex-mit"/>
+  <owl:Class rdf:ID="Publication"><rdfs:label>publication</rdfs:label></owl:Class>
+  <owl:Class rdf:ID="Article"/>
+  <owl:ObjectProperty rdf:ID="author"/>
+  <owl:DatatypeProperty rdf:ID="year"/>
+</rdf:RDF>"#;
+
+    #[test]
+    fn ontology_extraction_collects_classes_and_properties() {
+        let ontology = parse_ontology(DOC, "fallback").unwrap();
+        assert_eq!(ontology.name, "bibtex-mit");
+        assert_eq!(ontology.concept_count(), 4);
+        let publication = ontology.concept("Publication").unwrap();
+        assert_eq!(publication.kind, AttributeKind::Class);
+        assert_eq!(publication.label.as_deref(), Some("publication"));
+        assert_eq!(ontology.concept("author").unwrap().kind, AttributeKind::Property);
+        assert_eq!(ontology.concept("year").unwrap().kind, AttributeKind::Property);
+        assert!(ontology.concept("http://example.org/bibtex-mit#Article").is_some());
+        assert!(ontology.concept("nothing").is_none());
+    }
+
+    #[test]
+    fn fallback_name_is_used_when_no_ontology_node_exists() {
+        let doc = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+             xmlns:owl="http://www.w3.org/2002/07/owl#">
+          <owl:Class rdf:about="http://x#A"/>
+        </rdf:RDF>"#;
+        let ontology = parse_ontology(doc, "my-fallback").unwrap();
+        assert_eq!(ontology.name, "my-fallback");
+        assert!(ontology.base_iri.is_none());
+    }
+
+    #[test]
+    fn empty_ontologies_are_rejected() {
+        let doc = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+             xmlns:owl="http://www.w3.org/2002/07/owl#">
+          <owl:Ontology rdf:about="http://x"/>
+        </rdf:RDF>"#;
+        assert!(parse_ontology(doc, "x").is_err());
+    }
+
+    #[test]
+    fn schema_export_and_reimport_preserve_attribute_names() {
+        let mut builder = SchemaBuilder::new(SchemaId(0), "ArtDatabank");
+        builder.attributes(["Creator", "Item", "CreatedOn", "Title/Subtitle"]);
+        let schema = builder.build();
+        let xml = schema_to_owl_xml(&schema);
+        let ontology = parse_ontology(&xml, "ArtDatabank").unwrap();
+        assert_eq!(ontology.name, "ArtDatabank");
+        assert_eq!(ontology.concept_count(), 4);
+        // Labels carry the original names; local names are sanitised.
+        assert!(ontology.concepts.iter().any(|c| c.label.as_deref() == Some("Title/Subtitle")));
+        assert!(ontology.concept("Title_Subtitle").is_some());
+    }
+
+    #[test]
+    fn property_kinds_round_trip_through_owl() {
+        let mut builder = SchemaBuilder::new(SchemaId(0), "rdfish");
+        builder.attribute_with_kind("Person", AttributeKind::Class);
+        builder.attribute_with_kind("hasName", AttributeKind::Property);
+        let schema = builder.build();
+        let ontology = parse_ontology(&schema_to_owl_xml(&schema), "rdfish").unwrap();
+        assert_eq!(ontology.concept("Person").unwrap().kind, AttributeKind::Class);
+        assert_eq!(ontology.concept("hasName").unwrap().kind, AttributeKind::Property);
+    }
+
+    #[test]
+    fn catalog_export_produces_one_document_per_peer() {
+        let mut catalog = Catalog::new();
+        catalog.add_peer_with_schema("a", |s| {
+            s.attributes(["x", "y"]);
+        });
+        catalog.add_peer_with_schema("b", |s| {
+            s.attributes(["x", "z"]);
+        });
+        let docs = catalog_to_owl_xml(&catalog);
+        assert_eq!(docs.len(), 2);
+        for (peer, xml) in docs {
+            let ontology = parse_ontology(&xml, catalog.peer_name(peer)).unwrap();
+            assert_eq!(ontology.concept_count(), 2);
+        }
+    }
+
+    #[test]
+    fn sanitization_keeps_names_usable() {
+        assert_eq!(sanitize_local_name("a b/c"), "a_b_c");
+        assert_eq!(sanitize_local_name(""), "_");
+        assert_eq!(sanitize_local_name("Date.created"), "Date.created");
+    }
+}

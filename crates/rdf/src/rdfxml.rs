@@ -1,0 +1,439 @@
+//! RDF/XML reader and writer for the subset used by ontology documents.
+//!
+//! The grammar handled here is the one produced by ontology editors for class/property
+//! declarations and by this crate's own serializer:
+//!
+//! * a root `rdf:RDF` element carrying `xmlns` declarations and an optional `xml:base`;
+//! * node elements — `rdf:Description` or typed nodes like `owl:Class` — identified by
+//!   `rdf:about` or `rdf:ID` (or treated as blank nodes when neither is present);
+//! * property elements with an `rdf:resource` object, a nested node element, or literal
+//!   text content (with optional `xml:lang` / `rdf:datatype`);
+//! * non-RDF attributes on node elements, read as literal-valued properties.
+//!
+//! Containers, collections, reification and `rdf:parseType` are not supported; they do
+//! not occur in the documents this crate needs to exchange.
+
+use crate::error::RdfError;
+use crate::model::{vocab, RdfGraph, Term, Triple};
+use crate::xml::{self, XmlElement, XmlNode};
+use std::collections::BTreeMap;
+
+/// Parses an RDF/XML document into a triple graph.
+pub fn parse_rdf_xml(input: &str) -> Result<RdfGraph, RdfError> {
+    let root = xml::parse(input)?;
+    if root.local_name() != "RDF" {
+        return Err(RdfError::Structure(format!(
+            "expected an rdf:RDF root element, found `{}`",
+            root.name
+        )));
+    }
+    let mut scope = NamespaceScope::default();
+    scope.absorb(&root);
+    let mut graph = RdfGraph::new();
+    let mut blank_counter = 0usize;
+    for child in root.child_elements() {
+        parse_node_element(child, &scope, &mut graph, &mut blank_counter)?;
+    }
+    Ok(graph)
+}
+
+/// Serialises a triple graph as RDF/XML, grouping triples by subject.
+///
+/// IRIs are abbreviated against the standard RDF/RDFS/OWL namespaces plus any further
+/// namespaces discovered in the predicates (assigned prefixes `ns0`, `ns1`, …).
+pub fn serialize_rdf_xml(graph: &RdfGraph) -> String {
+    let mut namespaces: BTreeMap<String, String> = BTreeMap::new();
+    namespaces.insert(vocab::RDF_NS.to_string(), "rdf".to_string());
+    namespaces.insert(vocab::RDFS_NS.to_string(), "rdfs".to_string());
+    namespaces.insert(vocab::OWL_NS.to_string(), "owl".to_string());
+    let mut next_custom = 0usize;
+    for triple in graph.triples() {
+        let ns = namespace_of(&triple.predicate);
+        namespaces.entry(ns.to_string()).or_insert_with(|| {
+            let prefix = format!("ns{next_custom}");
+            next_custom += 1;
+            prefix
+        });
+    }
+
+    let mut root = XmlElement::new("rdf:RDF");
+    for (ns, prefix) in &namespaces {
+        root.attributes.push((format!("xmlns:{prefix}"), ns.clone()));
+    }
+
+    // Group triples by subject, preserving first-appearance order.
+    let mut order: Vec<&Term> = Vec::new();
+    let mut by_subject: BTreeMap<String, Vec<&Triple>> = BTreeMap::new();
+    for triple in graph.triples() {
+        let key = triple.subject.to_string();
+        if !by_subject.contains_key(&key) {
+            order.push(&triple.subject);
+        }
+        by_subject.entry(key).or_default().push(triple);
+    }
+
+    for subject in order {
+        let mut description = XmlElement::new("rdf:Description");
+        match subject {
+            Term::Iri(iri) => description
+                .attributes
+                .push(("rdf:about".to_string(), iri.clone())),
+            Term::Blank(label) => description
+                .attributes
+                .push(("rdf:nodeID".to_string(), label.clone())),
+            Term::Literal { .. } => continue, // literals cannot be subjects
+        }
+        for triple in &by_subject[&subject.to_string()] {
+            let qname = qname_for(&triple.predicate, &namespaces);
+            let mut property = XmlElement::new(qname);
+            match &triple.object {
+                Term::Iri(iri) => property
+                    .attributes
+                    .push(("rdf:resource".to_string(), iri.clone())),
+                Term::Blank(label) => property
+                    .attributes
+                    .push(("rdf:nodeID".to_string(), label.clone())),
+                Term::Literal {
+                    value,
+                    language,
+                    datatype,
+                } => {
+                    if let Some(lang) = language {
+                        property
+                            .attributes
+                            .push(("xml:lang".to_string(), lang.clone()));
+                    }
+                    if let Some(dt) = datatype {
+                        property
+                            .attributes
+                            .push(("rdf:datatype".to_string(), dt.clone()));
+                    }
+                    property.children.push(XmlNode::Text(value.clone()));
+                }
+            }
+            description.children.push(XmlNode::Element(property));
+        }
+        root.children.push(XmlNode::Element(description));
+    }
+    xml::serialize(&root)
+}
+
+/// Namespace declarations in scope at some element.
+#[derive(Debug, Clone, Default)]
+struct NamespaceScope {
+    /// `prefix → namespace IRI`; the default namespace is stored under the empty key.
+    prefixes: BTreeMap<String, String>,
+    /// `xml:base`, used to resolve `rdf:ID` and relative `rdf:about` values.
+    base: Option<String>,
+}
+
+impl NamespaceScope {
+    fn absorb(&mut self, element: &XmlElement) {
+        for (name, value) in &element.attributes {
+            if name == "xmlns" {
+                self.prefixes.insert(String::new(), value.clone());
+            } else if let Some(prefix) = name.strip_prefix("xmlns:") {
+                self.prefixes.insert(prefix.to_string(), value.clone());
+            } else if name == "xml:base" {
+                self.base = Some(value.clone());
+            }
+        }
+    }
+
+    /// Expands a qualified element/attribute name to an IRI.
+    fn expand(&self, qname: &str) -> Result<String, RdfError> {
+        match qname.rsplit_once(':') {
+            Some((prefix, local)) => match self.prefixes.get(prefix) {
+                Some(ns) => Ok(format!("{ns}{local}")),
+                None => Err(RdfError::Structure(format!(
+                    "undeclared namespace prefix `{prefix}` in `{qname}`"
+                ))),
+            },
+            None => match self.prefixes.get("") {
+                Some(ns) => Ok(format!("{ns}{qname}")),
+                None => Err(RdfError::Structure(format!(
+                    "unprefixed name `{qname}` without a default namespace"
+                ))),
+            },
+        }
+    }
+
+    /// Resolves an `rdf:about` / `rdf:resource` value against `xml:base` when relative.
+    fn resolve(&self, reference: &str) -> String {
+        if reference.contains("://") || reference.starts_with("urn:") {
+            return reference.to_string();
+        }
+        match &self.base {
+            Some(base) if reference.starts_with('#') => format!("{base}{reference}"),
+            Some(base) if !reference.is_empty() => format!("{base}#{reference}"),
+            Some(base) => base.clone(),
+            None => reference.to_string(),
+        }
+    }
+}
+
+fn namespace_of(iri: &str) -> &str {
+    if let Some(pos) = iri.rfind('#') {
+        &iri[..=pos]
+    } else if let Some(pos) = iri.rfind('/') {
+        &iri[..=pos]
+    } else {
+        iri
+    }
+}
+
+fn qname_for(iri: &str, namespaces: &BTreeMap<String, String>) -> String {
+    let ns = namespace_of(iri);
+    let local = &iri[ns.len()..];
+    match namespaces.get(ns) {
+        Some(prefix) => format!("{prefix}:{local}"),
+        None => iri.to_string(),
+    }
+}
+
+/// Parses one node element, returning the subject term.
+fn parse_node_element(
+    element: &XmlElement,
+    parent_scope: &NamespaceScope,
+    graph: &mut RdfGraph,
+    blank_counter: &mut usize,
+) -> Result<Term, RdfError> {
+    let mut scope = parent_scope.clone();
+    scope.absorb(element);
+
+    // Subject.
+    let subject = if let Some(about) = element.attribute("rdf:about") {
+        Term::Iri(scope.resolve(about))
+    } else if let Some(id) = element.attribute("rdf:ID") {
+        Term::Iri(scope.resolve(&format!("#{id}")))
+    } else if let Some(node_id) = element.attribute("rdf:nodeID") {
+        Term::Blank(node_id.to_string())
+    } else {
+        *blank_counter += 1;
+        Term::Blank(format!("genid{blank_counter}"))
+    };
+
+    // Typed node elements assert rdf:type.
+    let element_iri = scope.expand(&element.name)?;
+    let is_plain_description = element_iri == format!("{}Description", vocab::RDF_NS);
+    if !is_plain_description {
+        graph.add(subject.clone(), vocab::RDF_TYPE, Term::Iri(element_iri));
+    }
+
+    // Attribute properties (anything that is not rdf:* syntax or a namespace/xml attr).
+    for (name, value) in &element.attributes {
+        if name.starts_with("xmlns") || name.starts_with("xml:") {
+            continue;
+        }
+        if matches!(name.as_str(), "rdf:about" | "rdf:ID" | "rdf:nodeID" | "rdf:datatype") {
+            continue;
+        }
+        let predicate = scope.expand(name)?;
+        if predicate == vocab::RDF_TYPE {
+            graph.add(subject.clone(), vocab::RDF_TYPE, Term::Iri(scope.resolve(value)));
+        } else if !predicate.starts_with(vocab::RDF_NS) {
+            graph.add(subject.clone(), predicate, Term::literal(value.clone()));
+        }
+    }
+
+    // Property elements.
+    for property in element.child_elements() {
+        let mut property_scope = scope.clone();
+        property_scope.absorb(property);
+        let predicate = property_scope.expand(&property.name)?;
+        if let Some(resource) = property.attribute("rdf:resource") {
+            graph.add(
+                subject.clone(),
+                predicate,
+                Term::Iri(property_scope.resolve(resource)),
+            );
+        } else if let Some(node_id) = property.attribute("rdf:nodeID") {
+            graph.add(subject.clone(), predicate, Term::Blank(node_id.to_string()));
+        } else if property.child_elements().next().is_some() {
+            // Nested node element: recurse and connect.
+            let nested = property
+                .child_elements()
+                .next()
+                .expect("checked non-empty above");
+            let object = parse_node_element(nested, &property_scope, graph, blank_counter)?;
+            graph.add(subject.clone(), predicate, object);
+        } else {
+            let value = property.text();
+            let language = property.attribute("xml:lang").map(str::to_string);
+            let datatype = property
+                .attribute("rdf:datatype")
+                .map(|d| property_scope.resolve(d));
+            graph.add(
+                subject.clone(),
+                predicate,
+                Term::Literal {
+                    value,
+                    language,
+                    datatype,
+                },
+            );
+        }
+    }
+
+    Ok(subject)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r##"<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/bibtex">
+  <owl:Ontology rdf:about="http://example.org/bibtex"/>
+  <owl:Class rdf:ID="Publication">
+    <rdfs:label xml:lang="en">publication</rdfs:label>
+  </owl:Class>
+  <owl:Class rdf:about="#Article">
+    <rdfs:subClassOf rdf:resource="#Publication"/>
+  </owl:Class>
+  <owl:ObjectProperty rdf:about="#author">
+    <rdfs:domain rdf:resource="#Publication"/>
+  </owl:ObjectProperty>
+  <owl:DatatypeProperty rdf:about="#year"/>
+  <rdf:Description rdf:about="#note" rdfs:label="note text"/>
+</rdf:RDF>"##;
+
+    #[test]
+    fn typed_nodes_produce_rdf_type_triples() {
+        let graph = parse_rdf_xml(BIB).unwrap();
+        let classes = graph.subjects_of_type(vocab::OWL_CLASS);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(graph.subjects_of_type(vocab::OWL_OBJECT_PROPERTY).len(), 1);
+        assert_eq!(graph.subjects_of_type(vocab::OWL_DATATYPE_PROPERTY).len(), 1);
+        assert_eq!(graph.subjects_of_type(vocab::OWL_ONTOLOGY).len(), 1);
+    }
+
+    #[test]
+    fn rdf_id_and_relative_about_resolve_against_base() {
+        let graph = parse_rdf_xml(BIB).unwrap();
+        let publication = Term::iri("http://example.org/bibtex#Publication");
+        let article = Term::iri("http://example.org/bibtex#Article");
+        assert_eq!(graph.literal(&publication, vocab::RDFS_LABEL), Some("publication"));
+        assert_eq!(
+            graph.objects(&article, vocab::RDFS_SUBCLASS_OF),
+            vec![&publication]
+        );
+    }
+
+    #[test]
+    fn language_tags_and_attribute_properties_are_read() {
+        let graph = parse_rdf_xml(BIB).unwrap();
+        let publication = Term::iri("http://example.org/bibtex#Publication");
+        let label = graph
+            .objects(&publication, vocab::RDFS_LABEL)
+            .into_iter()
+            .next()
+            .unwrap();
+        assert_eq!(
+            label,
+            &Term::Literal {
+                value: "publication".into(),
+                language: Some("en".into()),
+                datatype: None
+            }
+        );
+        let note = Term::iri("http://example.org/bibtex#note");
+        assert_eq!(graph.literal(&note, vocab::RDFS_LABEL), Some("note text"));
+    }
+
+    #[test]
+    fn nested_node_elements_become_blank_nodes() {
+        let doc = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                              xmlns:ex="http://example.org/x#">
+          <ex:Painting rdf:about="http://example.org/x#Mona">
+            <ex:painter>
+              <ex:Person>
+                <ex:name>Leonardo</ex:name>
+              </ex:Person>
+            </ex:painter>
+          </ex:Painting>
+        </rdf:RDF>"#;
+        let graph = parse_rdf_xml(doc).unwrap();
+        let mona = Term::iri("http://example.org/x#Mona");
+        let painters = graph.objects(&mona, "http://example.org/x#painter");
+        assert_eq!(painters.len(), 1);
+        assert!(matches!(painters[0], Term::Blank(_)));
+        let person_type = graph.subjects_of_type("http://example.org/x#Person");
+        assert_eq!(person_type.len(), 1);
+        assert_eq!(
+            graph.literal(person_type[0], "http://example.org/x#name"),
+            Some("Leonardo")
+        );
+    }
+
+    #[test]
+    fn non_rdf_root_is_rejected() {
+        let err = parse_rdf_xml("<Ontology xmlns=\"http://x#\"/>").unwrap_err();
+        assert!(matches!(err, RdfError::Structure(_)));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_rejected() {
+        let doc = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+          <owl:Class rdf:about="http://x#A"/>
+        </rdf:RDF>"#;
+        let err = parse_rdf_xml(doc).unwrap_err();
+        assert!(err.to_string().contains("undeclared namespace prefix"));
+    }
+
+    #[test]
+    fn serialisation_round_trips_the_graph() {
+        let original = parse_rdf_xml(BIB).unwrap();
+        let text = serialize_rdf_xml(&original);
+        let reparsed = parse_rdf_xml(&text).unwrap();
+        // Same triples, regardless of order.
+        assert_eq!(original.len(), reparsed.len());
+        for triple in original.triples() {
+            assert!(
+                reparsed
+                    .matching(Some(&triple.subject), Some(&triple.predicate), Some(&triple.object))
+                    .next()
+                    .is_some(),
+                "missing triple after round trip: {triple}"
+            );
+        }
+    }
+
+    #[test]
+    fn serialisation_assigns_prefixes_to_custom_namespaces() {
+        let mut graph = RdfGraph::new();
+        graph.add(
+            Term::iri("http://example.org/art#Creator"),
+            "http://example.org/art#alignedWith",
+            Term::iri("http://example.org/winfs#DisplayName"),
+        );
+        let text = serialize_rdf_xml(&graph);
+        assert!(text.contains("xmlns:ns0="));
+        let reparsed = parse_rdf_xml(&text).unwrap();
+        assert_eq!(reparsed.len(), 1);
+    }
+
+    #[test]
+    fn blank_subjects_survive_round_trips() {
+        let mut graph = RdfGraph::new();
+        graph.add(
+            Term::Blank("cell1".into()),
+            "http://example.org/align#entity1",
+            Term::iri("http://example.org/a#Creator"),
+        );
+        graph.add(
+            Term::Blank("cell1".into()),
+            "http://example.org/align#measure",
+            Term::literal("0.75"),
+        );
+        let text = serialize_rdf_xml(&graph);
+        let reparsed = parse_rdf_xml(&text).unwrap();
+        assert_eq!(reparsed.len(), 2);
+        let subjects: Vec<&Term> = reparsed
+            .subjects("http://example.org/align#measure", &Term::literal("0.75"));
+        assert!(matches!(subjects[0], Term::Blank(_)));
+    }
+}

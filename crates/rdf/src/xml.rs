@@ -1,0 +1,549 @@
+//! A minimal, dependency-free XML reader and writer.
+//!
+//! The RDF/XML and alignment documents handled by this crate use a small, regular
+//! subset of XML: a prolog, nested elements with attributes, character data, comments,
+//! and the five predefined entities. This module parses exactly that subset into an
+//! element tree and serialises the tree back, with positions reported on error. It is
+//! not a general-purpose XML processor (no DTDs, no processing instructions beyond the
+//! prolog, no CDATA sections) — the goal is to read and write the documents produced by
+//! ontology editors and by this crate itself, not to validate arbitrary input.
+
+use crate::error::XmlError;
+use std::fmt;
+
+/// One node of the parsed document: an element or a run of character data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A child element.
+    Element(XmlElement),
+    /// Decoded character data (entities already resolved).
+    Text(String),
+}
+
+/// An XML element: qualified name, attributes in document order, and children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    /// Qualified name as written, e.g. `rdf:Description` or `Ontology`.
+    pub name: String,
+    /// Attributes as `(qualified name, decoded value)` pairs in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlElement {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attribute(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: XmlElement) -> Self {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// The value of an attribute by qualified name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The local part of the element name (the part after the last `:`).
+    pub fn local_name(&self) -> &str {
+        local_part(&self.name)
+    }
+
+    /// The namespace prefix of the element name, if any.
+    pub fn prefix(&self) -> Option<&str> {
+        self.name.rsplit_once(':').map(|(p, _)| p)
+    }
+
+    /// Child elements, skipping text nodes.
+    pub fn child_elements(&self) -> impl Iterator<Item = &XmlElement> {
+        self.children.iter().filter_map(|c| match c {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// First child element with the given local name.
+    pub fn child_by_local_name(&self, local: &str) -> Option<&XmlElement> {
+        self.child_elements().find(|e| e.local_name() == local)
+    }
+
+    /// All child elements with the given local name.
+    pub fn children_by_local_name<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.child_elements().filter(move |e| e.local_name() == local)
+    }
+
+    /// Concatenated text content of the element (direct text children only), trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for child in &self.children {
+            if let XmlNode::Text(t) = child {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+}
+
+/// The local part of a qualified name.
+pub fn local_part(qname: &str) -> &str {
+    qname.rsplit_once(':').map(|(_, l)| l).unwrap_or(qname)
+}
+
+/// Parses an XML document into its root element. Leading prolog (`<?xml …?>`) and
+/// comments are skipped; anything after the root element other than whitespace and
+/// comments is an error.
+pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_misc()?;
+    let root = parser.parse_element()?;
+    parser.skip_misc()?;
+    if parser.pos < parser.bytes.len() {
+        return Err(XmlError::new(parser.pos, "content after the root element"));
+    }
+    Ok(root)
+}
+
+/// Serialises an element tree to a string with an XML prolog and two-space indentation.
+pub fn serialize(root: &XmlElement) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_element(root, 0, &mut out);
+    out
+}
+
+fn write_element(element: &XmlElement, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&indent);
+    out.push('<');
+    out.push_str(&element.name);
+    for (name, value) in &element.attributes {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escape(value, true));
+        out.push('"');
+    }
+    let has_element_children = element.child_elements().next().is_some();
+    let text = element.text();
+    if element.children.is_empty() || (!has_element_children && text.is_empty()) {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push('>');
+    if has_element_children {
+        out.push('\n');
+        for child in &element.children {
+            match child {
+                XmlNode::Element(e) => write_element(e, depth + 1, out),
+                XmlNode::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&escape(trimmed, false));
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out.push_str(&indent);
+    } else {
+        out.push_str(&escape(&text, false));
+    }
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push_str(">\n");
+}
+
+/// Escapes character data or attribute values.
+fn escape(value: &str, attribute: bool) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attribute => out.push_str("&quot;"),
+            '\'' if attribute => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl fmt::Debug for Parser<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Parser(pos={})", self.pos)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.bytes[self.pos..].starts_with(prefix.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, the XML prolog, and comments.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(end) => self.pos += end + 2,
+                    None => return Err(XmlError::new(self.pos, "unterminated processing instruction")),
+                }
+            } else if self.starts_with("<!--") {
+                match self.bytes[self.pos..].windows(3).position(|w| w == b"-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => return Err(XmlError::new(self.pos, "unterminated comment")),
+                }
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip a simple (bracket-free) DOCTYPE declaration.
+                match self.bytes[self.pos..].iter().position(|&b| b == b'>') {
+                    Some(end) => self.pos += end + 1,
+                    None => return Err(XmlError::new(self.pos, "unterminated DOCTYPE")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::new(start, "expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(XmlError::new(
+                self.pos,
+                format!("expected `{}`", byte as char),
+            ))
+        }
+    }
+
+    fn parse_attribute_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(XmlError::new(self.pos, "expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 1;
+                return decode_entities(&raw, start);
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::new(start, "unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(name);
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect(b'=')?;
+                    self.skip_whitespace();
+                    let value = self.parse_attribute_value()?;
+                    element.attributes.push((attr_name, value));
+                }
+                None => return Err(XmlError::new(self.pos, "unterminated start tag")),
+            }
+        }
+        // Content until the matching end tag.
+        loop {
+            if self.starts_with("<!--") {
+                match self.bytes[self.pos..].windows(3).position(|w| w == b"-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => return Err(XmlError::new(self.pos, "unterminated comment")),
+                }
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let closing = self.parse_name()?;
+                if closing != element.name {
+                    return Err(XmlError::new(
+                        self.pos,
+                        format!("mismatched end tag `</{closing}>` for `<{}>`", element.name),
+                    ));
+                }
+                self.skip_whitespace();
+                self.expect(b'>')?;
+                return Ok(element);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    element.children.push(XmlNode::Element(child));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let decoded = decode_entities(&raw, start)?;
+                    if !decoded.trim().is_empty() {
+                        element.children.push(XmlNode::Text(decoded));
+                    }
+                }
+                None => {
+                    return Err(XmlError::new(
+                        self.pos,
+                        format!("missing end tag for `<{}>`", element.name),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Decodes the five predefined entities plus decimal/hexadecimal character references.
+fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp..];
+        let semi = after
+            .find(';')
+            .ok_or_else(|| XmlError::new(offset, "unterminated entity reference"))?;
+        let entity = &after[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            other if other.starts_with("#x") || other.starts_with("#X") => {
+                let code = u32::from_str_radix(&other[2..], 16)
+                    .map_err(|_| XmlError::new(offset, format!("bad character reference `&{other};`")))?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::new(offset, format!("invalid character reference `&{other};`"))
+                })?);
+            }
+            other if other.starts_with('#') => {
+                let code: u32 = other[1..]
+                    .parse()
+                    .map_err(|_| XmlError::new(offset, format!("bad character reference `&{other};`")))?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::new(offset, format!("invalid character reference `&{other};`"))
+                })?);
+            }
+            other => {
+                return Err(XmlError::new(
+                    offset,
+                    format!("unknown entity reference `&{other};`"),
+                ))
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_document() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- a comment -->
+            <library kind="test">
+              <book id="1">Factor Graphs</book>
+              <book id="2">Loopy &amp; Exact</book>
+              <empty/>
+            </library>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "library");
+        assert_eq!(root.attribute("kind"), Some("test"));
+        let books: Vec<&XmlElement> = root.children_by_local_name("book").collect();
+        assert_eq!(books.len(), 2);
+        assert_eq!(books[0].text(), "Factor Graphs");
+        assert_eq!(books[1].text(), "Loopy & Exact");
+        assert!(root.child_by_local_name("empty").is_some());
+    }
+
+    #[test]
+    fn qualified_names_expose_prefix_and_local_part() {
+        let root = parse(r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>"#).unwrap();
+        assert_eq!(root.local_name(), "RDF");
+        assert_eq!(root.prefix(), Some("rdf"));
+        assert_eq!(local_part("owl:Class"), "Class");
+        assert_eq!(local_part("Ontology"), "Ontology");
+    }
+
+    #[test]
+    fn attribute_entities_are_decoded() {
+        let root = parse(r#"<a title="Tom &amp; Jerry &#65;&#x42;"/>"#).unwrap();
+        assert_eq!(root.attribute("title"), Some("Tom & Jerry AB"));
+    }
+
+    #[test]
+    fn mismatched_end_tag_is_an_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched end tag"));
+    }
+
+    #[test]
+    fn unterminated_document_is_an_error() {
+        assert!(parse("<a><b></b>").is_err());
+        assert!(parse("<a foo=>").is_err());
+        assert!(parse("<a foo=\"x>").is_err());
+    }
+
+    #[test]
+    fn content_after_the_root_is_an_error() {
+        assert!(parse("<a/><b/>").is_err());
+        // Trailing comments and whitespace are fine.
+        assert!(parse("<a/>  <!-- bye -->  ").is_ok());
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let root = parse("<!DOCTYPE rdf:RDF><a/>").unwrap();
+        assert_eq!(root.name, "a");
+    }
+
+    #[test]
+    fn serialisation_round_trips() {
+        let original = XmlElement::new("Alignment")
+            .with_attribute("xmlns", "http://example.org/align#")
+            .with_child(
+                XmlElement::new("Cell")
+                    .with_child(
+                        XmlElement::new("entity1").with_attribute("rdf:resource", "http://a#Creator"),
+                    )
+                    .with_child(XmlElement::new("measure").with_text("0.87"))
+                    .with_child(XmlElement::new("relation").with_text("=")),
+            );
+        let text = serialize(&original);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn serialisation_escapes_special_characters() {
+        let element = XmlElement::new("note")
+            .with_attribute("title", "a \"quoted\" & <tagged> title")
+            .with_text("1 < 2 & 3 > 2");
+        let text = serialize(&element);
+        assert!(text.contains("&quot;quoted&quot;"));
+        assert!(text.contains("&lt;tagged&gt;"));
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.attribute("title"), Some("a \"quoted\" & <tagged> title"));
+        assert_eq!(reparsed.text(), "1 < 2 & 3 > 2");
+    }
+
+    #[test]
+    fn nested_structure_round_trips_through_serialize_parse() {
+        let tree = XmlElement::new("rdf:RDF")
+            .with_attribute("xmlns:rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+            .with_attribute("xmlns:owl", "http://www.w3.org/2002/07/owl#")
+            .with_child(
+                XmlElement::new("owl:Class")
+                    .with_attribute("rdf:about", "#Publication")
+                    .with_child(XmlElement::new("rdfs:label").with_text("publication")),
+            )
+            .with_child(XmlElement::new("owl:ObjectProperty").with_attribute("rdf:about", "#author"));
+        let text = serialize(&tree);
+        assert_eq!(parse(&text).unwrap(), tree);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let root = parse("<a>\n   <b/>\n   </a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn text_method_concatenates_direct_text_only() {
+        let root = parse("<a>hello <b>inner</b> world</a>").unwrap();
+        assert_eq!(root.text(), "hello  world");
+        assert_eq!(root.child_by_local_name("b").unwrap().text(), "inner");
+    }
+}

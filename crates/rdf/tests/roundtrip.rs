@@ -1,0 +1,121 @@
+//! Property tests: documents produced by this crate must re-import losslessly.
+
+use pdms_rdf::{
+    export_catalog, import_catalog, parse_alignment, parse_ontology, parse_rdf_xml,
+    serialize_alignment, serialize_rdf_xml, AlignmentDoc, Ontology, RdfGraph, Term,
+};
+use pdms_schema::{AttributeId, Catalog};
+use proptest::prelude::*;
+
+/// Strategy: short identifier-ish names (attribute / concept names).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,12}"
+}
+
+/// Strategy: a catalog of 2–4 peers with 2–6 attributes each and a mapping along every
+/// consecutive pair of peers (enough structure to exercise export/import).
+fn catalog_strategy() -> impl Strategy<Value = Catalog> {
+    let schema = prop::collection::btree_set(name_strategy(), 2..6);
+    prop::collection::vec(schema, 2..4).prop_map(|schemas| {
+        let mut catalog = Catalog::new();
+        let peers: Vec<_> = schemas
+            .iter()
+            .enumerate()
+            .map(|(i, names)| {
+                catalog.add_peer_with_schema(format!("peer{i}"), |builder| {
+                    for name in names {
+                        builder.attribute(name.clone());
+                    }
+                })
+            })
+            .collect();
+        for window in peers.windows(2) {
+            let source_len = catalog.peer_schema(window[0]).attribute_count();
+            let target_len = catalog.peer_schema(window[1]).attribute_count();
+            catalog.add_mapping(window[0], window[1], |mut m| {
+                for a in 0..source_len.min(target_len) {
+                    m = m.unjudged(AttributeId(a), AttributeId(a));
+                }
+                m
+            });
+        }
+        catalog
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exported_catalogs_reimport_with_identical_structure(catalog in catalog_strategy()) {
+        let export = export_catalog(&catalog);
+        let ontologies: Vec<Ontology> = export
+            .ontologies
+            .iter()
+            .map(|(name, xml)| parse_ontology(xml, name).unwrap())
+            .collect();
+        let alignments: Vec<AlignmentDoc> = export
+            .alignments
+            .iter()
+            .map(|xml| parse_alignment(xml).unwrap())
+            .collect();
+        let import = import_catalog(&ontologies, &alignments).unwrap();
+        prop_assert_eq!(import.catalog.peer_count(), catalog.peer_count());
+        prop_assert_eq!(import.catalog.mapping_count(), catalog.mapping_count());
+        for mapping in catalog.mappings() {
+            let original = catalog.mapping(mapping);
+            let reimported = import.catalog.mapping(mapping);
+            prop_assert_eq!(original.correspondence_count(), reimported.correspondence_count());
+            for (source_attr, correspondence) in original.correspondences() {
+                prop_assert_eq!(reimported.apply(source_attr), Some(correspondence.target));
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_documents_round_trip(cells in prop::collection::vec((name_strategy(), name_strategy(), 0.0f64..=1.0), 0..12)) {
+        let mut doc = AlignmentDoc::new("http://example.org/a", "http://example.org/b");
+        for (left, right, measure) in &cells {
+            doc.add_cell(
+                format!("http://example.org/a#{left}"),
+                format!("http://example.org/b#{right}"),
+                *measure,
+            );
+        }
+        let reparsed = parse_alignment(&serialize_alignment(&doc)).unwrap();
+        prop_assert_eq!(reparsed.len(), doc.len());
+        for (a, b) in doc.cells.iter().zip(&reparsed.cells) {
+            prop_assert_eq!(&a.entity1, &b.entity1);
+            prop_assert_eq!(&a.entity2, &b.entity2);
+            prop_assert!((a.measure - b.measure).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rdf_graphs_round_trip_through_rdfxml(entries in prop::collection::vec((name_strategy(), name_strategy(), name_strategy(), prop::bool::ANY), 1..20)) {
+        let mut graph = RdfGraph::new();
+        for (subject, predicate, object, literal) in &entries {
+            let object_term = if *literal {
+                Term::literal(object.clone())
+            } else {
+                Term::iri(format!("http://example.org/o#{object}"))
+            };
+            graph.add(
+                Term::iri(format!("http://example.org/s#{subject}")),
+                format!("http://example.org/p#{predicate}"),
+                object_term,
+            );
+        }
+        let reparsed = parse_rdf_xml(&serialize_rdf_xml(&graph)).unwrap();
+        prop_assert_eq!(reparsed.len(), graph.len());
+        for triple in graph.triples() {
+            prop_assert!(
+                reparsed
+                    .matching(Some(&triple.subject), Some(&triple.predicate), Some(&triple.object))
+                    .next()
+                    .is_some(),
+                "triple lost in round trip: {}", triple
+            );
+        }
+    }
+}

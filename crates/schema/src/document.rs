@@ -1,0 +1,206 @@
+//! A minimal semi-structured document model.
+//!
+//! The probabilistic machinery of the paper never inspects instance data — feedback is
+//! computed at the schema/query level — but the example applications and the query
+//! routing layer need documents to return, so the PDMS substrate includes a small
+//! attribute→value record model reminiscent of the flattened XML documents in the
+//! paper's Figure 2.
+
+use crate::attribute::AttributeId;
+use crate::schema::Schema;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar value stored under an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A text value (element content).
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Text content, if the value is textual.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Case-insensitive containment check used by `LIKE "%…%"`-style selections.
+    pub fn contains_text(&self, needle: &str) -> bool {
+        match self {
+            Value::Text(s) => s.to_lowercase().contains(&needle.to_lowercase()),
+            Value::Number(n) => n.to_string().contains(needle),
+            Value::Bool(b) => b.to_string().contains(needle),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => f.write_str(s),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+/// A document: a flat record of attribute → values, conforming to one schema.
+///
+/// Multi-valued attributes (the `<Keyword>` repetition of Figure 2) are supported by
+/// storing a vector of values per attribute.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    values: BTreeMap<AttributeId, Vec<Value>>,
+}
+
+impl Document {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (replaces) the values of an attribute.
+    pub fn set(&mut self, attribute: AttributeId, value: impl Into<Value>) -> &mut Self {
+        self.values.insert(attribute, vec![value.into()]);
+        self
+    }
+
+    /// Appends a value to an attribute.
+    pub fn push(&mut self, attribute: AttributeId, value: impl Into<Value>) -> &mut Self {
+        self.values.entry(attribute).or_default().push(value.into());
+        self
+    }
+
+    /// All values of an attribute (empty slice when absent).
+    pub fn get(&self, attribute: AttributeId) -> &[Value] {
+        self.values.get(&attribute).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// First value of an attribute, if any.
+    pub fn first(&self, attribute: AttributeId) -> Option<&Value> {
+        self.get(attribute).first()
+    }
+
+    /// True if the document has at least one value for the attribute.
+    pub fn has(&self, attribute: AttributeId) -> bool {
+        !self.get(attribute).is_empty()
+    }
+
+    /// Attributes populated in this document.
+    pub fn attributes(&self) -> impl Iterator<Item = AttributeId> + '_ {
+        self.values.keys().copied()
+    }
+
+    /// Number of populated attributes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no attribute is populated.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Renders the document as an XML-ish string using the attribute names of `schema`,
+    /// for logging and example output. Attributes missing from the schema are rendered
+    /// with their numeric id.
+    pub fn render(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("<{}>\n", schema.name()));
+        for (attr, values) in &self.values {
+            let name = schema
+                .attribute(*attr)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| format!("attr{}", attr.0));
+            for v in values {
+                out.push_str(&format!("  <{name}>{v}</{name}>\n"));
+            }
+        }
+        out.push_str(&format!("</{}>", schema.name()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{SchemaBuilder, SchemaId};
+
+    #[test]
+    fn set_replaces_push_appends() {
+        let mut d = Document::new();
+        d.set(AttributeId(0), "Robinson");
+        d.push(AttributeId(0), "Henry Peach Robinson");
+        assert_eq!(d.get(AttributeId(0)).len(), 2);
+        d.set(AttributeId(0), "only");
+        assert_eq!(d.get(AttributeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn absent_attribute_is_empty() {
+        let d = Document::new();
+        assert!(d.get(AttributeId(7)).is_empty());
+        assert!(!d.has(AttributeId(7)));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn contains_text_is_case_insensitive() {
+        let v = Value::from("Tunbridge Wells");
+        assert!(v.contains_text("tunbridge"));
+        assert!(!v.contains_text("london"));
+    }
+
+    #[test]
+    fn numbers_and_bools_stringify_for_matching() {
+        assert!(Value::Number(1865.0).contains_text("1865"));
+        assert!(Value::Bool(true).contains_text("true"));
+    }
+
+    #[test]
+    fn render_uses_schema_names() {
+        let mut b = SchemaBuilder::new(SchemaId(0), "Photoshop_Image");
+        let creator = b.attribute("Creator");
+        let s = b.build();
+        let mut d = Document::new();
+        d.set(creator, "Robinson");
+        let xml = d.render(&s);
+        assert!(xml.contains("<Photoshop_Image>"));
+        assert!(xml.contains("<Creator>Robinson</Creator>"));
+    }
+
+    #[test]
+    fn attributes_iterates_populated_only() {
+        let mut d = Document::new();
+        d.set(AttributeId(2), 3.0);
+        d.set(AttributeId(5), "x");
+        let attrs: Vec<AttributeId> = d.attributes().collect();
+        assert_eq!(attrs, vec![AttributeId(2), AttributeId(5)]);
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Queries: compositions of selection and projection operations over attributes.
+//!
+//! Section 2 of the paper reduces queries to "generic selection / projection operations
+//! `op` on attributes"; the introductory example's XQuery boils down to a projection on
+//! `Creator` and a selection `Item LIKE "%river%"`. That is exactly the level this
+//! module models. Evaluating a query against [`crate::document::Document`]s is provided
+//! so examples can produce end-to-end answers, but inference only ever looks at the set
+//! of attributes a query touches.
+
+use crate::attribute::AttributeId;
+use crate::document::{Document, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Predicate of a selection operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `LIKE "%needle%"` — case-insensitive containment.
+    Contains(String),
+    /// Exact string equality.
+    Equals(String),
+    /// The attribute merely has to be present.
+    Exists,
+}
+
+impl Predicate {
+    /// Evaluates the predicate over the values of one attribute in one document.
+    pub fn matches(&self, values: &[Value]) -> bool {
+        match self {
+            Predicate::Contains(needle) => values.iter().any(|v| v.contains_text(needle)),
+            Predicate::Equals(expected) => values
+                .iter()
+                .any(|v| v.as_text().map(|t| t == expected).unwrap_or(false)),
+            Predicate::Exists => !values.is_empty(),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Contains(s) => write!(f, "LIKE \"%{s}%\""),
+            Predicate::Equals(s) => write!(f, "= \"{s}\""),
+            Predicate::Exists => write!(f, "EXISTS"),
+        }
+    }
+}
+
+/// A single selection or projection operation on an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// Keep this attribute in the answer (π).
+    Project(AttributeId),
+    /// Filter documents by a predicate on this attribute (σ).
+    Select(AttributeId, Predicate),
+}
+
+impl Operation {
+    /// The attribute the operation touches.
+    pub fn attribute(&self) -> AttributeId {
+        match self {
+            Operation::Project(a) => *a,
+            Operation::Select(a, _) => *a,
+        }
+    }
+}
+
+/// A query: an ordered list of operations, all interpreted conjunctively.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Query {
+    operations: Vec<Operation>,
+}
+
+impl Query {
+    /// Creates an empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a projection on `attribute`.
+    pub fn project(mut self, attribute: AttributeId) -> Self {
+        self.operations.push(Operation::Project(attribute));
+        self
+    }
+
+    /// Adds a selection on `attribute`.
+    pub fn select(mut self, attribute: AttributeId, predicate: Predicate) -> Self {
+        self.operations.push(Operation::Select(attribute, predicate));
+        self
+    }
+
+    /// The operations in order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// True if the query has no operation.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// The distinct set of attributes the query touches. Per-hop forwarding (Section 2)
+    /// requires `P(a = correct) > θ_a` for every attribute in this set.
+    pub fn attributes(&self) -> BTreeSet<AttributeId> {
+        self.operations.iter().map(Operation::attribute).collect()
+    }
+
+    /// Evaluates the query over a set of documents: documents failing any selection are
+    /// dropped, surviving documents are projected onto the projection attributes (or
+    /// returned unchanged when the query has no projection).
+    pub fn evaluate<'a>(&self, documents: impl IntoIterator<Item = &'a Document>) -> Vec<Document> {
+        let projections: Vec<AttributeId> = self
+            .operations
+            .iter()
+            .filter_map(|op| match op {
+                Operation::Project(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        let mut out = Vec::new();
+        'docs: for doc in documents {
+            for op in &self.operations {
+                if let Operation::Select(attr, pred) = op {
+                    if !pred.matches(doc.get(*attr)) {
+                        continue 'docs;
+                    }
+                }
+            }
+            if projections.is_empty() {
+                out.push(doc.clone());
+            } else {
+                let mut projected = Document::new();
+                for attr in &projections {
+                    for v in doc.get(*attr) {
+                        projected.push(*attr, v.clone());
+                    }
+                }
+                out.push(projected);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .operations
+            .iter()
+            .map(|op| match op {
+                Operation::Project(a) => format!("π({a})"),
+                Operation::Select(a, p) => format!("σ({a} {p})"),
+            })
+            .collect();
+        write!(f, "{}", parts.join(" ∘ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Document> {
+        let creator = AttributeId(0);
+        let item = AttributeId(1);
+        let mut d1 = Document::new();
+        d1.set(creator, "Henry Peach Robinson");
+        d1.push(item, "A view of the river Medway");
+        let mut d2 = Document::new();
+        d2.set(creator, "Claude Monet");
+        d2.push(item, "Haystacks at sunset");
+        vec![d1, d2]
+    }
+
+    #[test]
+    fn selection_filters_documents() {
+        let q = Query::new()
+            .project(AttributeId(0))
+            .select(AttributeId(1), Predicate::Contains("river".into()));
+        let results = q.evaluate(&docs());
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].first(AttributeId(0)).unwrap().as_text().unwrap(),
+            "Henry Peach Robinson"
+        );
+    }
+
+    #[test]
+    fn projection_keeps_only_projected_attributes() {
+        let q = Query::new().project(AttributeId(0));
+        let results = q.evaluate(&docs());
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|d| !d.has(AttributeId(1))));
+    }
+
+    #[test]
+    fn no_projection_returns_full_documents() {
+        let q = Query::new().select(AttributeId(1), Predicate::Exists);
+        let results = q.evaluate(&docs());
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|d| d.has(AttributeId(0))));
+    }
+
+    #[test]
+    fn equals_predicate_requires_exact_match() {
+        let q = Query::new().select(AttributeId(0), Predicate::Equals("Claude Monet".into()));
+        assert_eq!(q.evaluate(&docs()).len(), 1);
+        let q = Query::new().select(AttributeId(0), Predicate::Equals("Claude".into()));
+        assert_eq!(q.evaluate(&docs()).len(), 0);
+    }
+
+    #[test]
+    fn attributes_deduplicates() {
+        let q = Query::new()
+            .project(AttributeId(0))
+            .select(AttributeId(0), Predicate::Exists)
+            .select(AttributeId(1), Predicate::Exists);
+        assert_eq!(q.attributes().len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = Query::new()
+            .project(AttributeId(0))
+            .select(AttributeId(1), Predicate::Contains("river".into()));
+        let s = q.to_string();
+        assert!(s.contains("π(a0)"));
+        assert!(s.contains("LIKE"));
+    }
+
+    #[test]
+    fn empty_query_returns_everything() {
+        let q = Query::new();
+        assert!(q.is_empty());
+        assert_eq!(q.evaluate(&docs()).len(), 2);
+    }
+}

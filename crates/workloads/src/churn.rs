@@ -1,0 +1,276 @@
+//! Churn workloads: streams of network-evolution events for the dynamics machinery.
+//!
+//! The paper's prior-update rule (Section 4.4) and its conclusions (Section 7) are
+//! about networks that keep changing — mappings being created, corrupted, repaired and
+//! deleted. [`ChurnGenerator`] produces reproducible batches of such
+//! [`pdms_core::NetworkEvent`]s against a live catalog, so examples and benchmarks can
+//! drive a [`pdms_core::DynamicPdms`] through many epochs of evolution and measure how
+//! detection quality and maintenance cost respond.
+
+use pdms_core::NetworkEvent;
+use pdms_schema::{AttributeId, Catalog, PeerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-epoch churn intensities. All rates are probabilities applied independently per
+/// candidate (per correspondence for corrupt/repair/drop, per epoch for mapping
+/// creation).
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Probability that a currently-correct correspondence gets corrupted this epoch.
+    pub corrupt_rate: f64,
+    /// Probability that a currently-erroneous correspondence gets repaired this epoch.
+    pub repair_rate: f64,
+    /// Probability that a correspondence is dropped this epoch.
+    pub drop_rate: f64,
+    /// Expected number of new mappings added per epoch (each between a uniformly chosen
+    /// ordered pair of peers not yet directly connected).
+    pub new_mappings_per_epoch: f64,
+    /// Error rate applied to the correspondences of newly added mappings.
+    pub new_mapping_error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            corrupt_rate: 0.02,
+            repair_rate: 0.3,
+            drop_rate: 0.005,
+            new_mappings_per_epoch: 0.5,
+            new_mapping_error_rate: 0.15,
+            seed: 1735,
+        }
+    }
+}
+
+/// A reproducible source of churn events.
+#[derive(Debug, Clone)]
+pub struct ChurnGenerator {
+    config: ChurnConfig,
+    rng: StdRng,
+}
+
+impl ChurnGenerator {
+    /// Creates a generator from a configuration.
+    pub fn new(config: ChurnConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { config, rng }
+    }
+
+    /// Draws one epoch worth of events against the current state of a catalog.
+    ///
+    /// The catalog is only read; apply the returned events through
+    /// [`pdms_core::DynamicPdms::apply`] to make them effective.
+    pub fn epoch_events(&mut self, catalog: &Catalog) -> Vec<NetworkEvent> {
+        let mut events = Vec::new();
+
+        // Per-correspondence corruption, repair, and drop.
+        for mapping_id in catalog.mappings() {
+            let mapping = catalog.mapping(mapping_id);
+            let (_, target_peer) = catalog.mapping_endpoints(mapping_id);
+            let target_size = catalog.peer_schema(target_peer).attribute_count();
+            for (attribute, correspondence) in mapping.correspondences() {
+                if self.rng.gen_bool(self.config.drop_rate.clamp(0.0, 1.0)) {
+                    events.push(NetworkEvent::Drop {
+                        mapping: mapping_id,
+                        attribute,
+                    });
+                    continue;
+                }
+                if correspondence.is_correct() {
+                    if target_size > 1 && self.rng.gen_bool(self.config.corrupt_rate.clamp(0.0, 1.0)) {
+                        let mut wrong = self.rng.gen_range(0..target_size - 1);
+                        if wrong >= correspondence.target.0 {
+                            wrong += 1;
+                        }
+                        events.push(NetworkEvent::Corrupt {
+                            mapping: mapping_id,
+                            attribute,
+                            wrong_target: AttributeId(wrong),
+                        });
+                    }
+                } else if self.rng.gen_bool(self.config.repair_rate.clamp(0.0, 1.0)) {
+                    events.push(NetworkEvent::Repair {
+                        mapping: mapping_id,
+                        attribute,
+                    });
+                }
+            }
+        }
+
+        // New mappings between not-yet-connected ordered peer pairs.
+        let mut expected = self.config.new_mappings_per_epoch.max(0.0);
+        while expected > 0.0 {
+            let add = if expected >= 1.0 {
+                true
+            } else {
+                self.rng.gen_bool(expected)
+            };
+            expected -= 1.0;
+            if !add {
+                continue;
+            }
+            if let Some(event) = self.draw_new_mapping(catalog) {
+                events.push(event);
+            }
+        }
+        events
+    }
+
+    fn draw_new_mapping(&mut self, catalog: &Catalog) -> Option<NetworkEvent> {
+        let peers: Vec<PeerId> = catalog.peers().collect();
+        if peers.len() < 2 {
+            return None;
+        }
+        // Up to a bounded number of attempts to find an unconnected ordered pair.
+        for _ in 0..32 {
+            let source = peers[self.rng.gen_range(0..peers.len())];
+            let target = peers[self.rng.gen_range(0..peers.len())];
+            if source == target || !catalog.mappings_between(source, target).is_empty() {
+                continue;
+            }
+            let source_size = catalog.peer_schema(source).attribute_count();
+            let target_size = catalog.peer_schema(target).attribute_count();
+            let shared = source_size.min(target_size);
+            if shared == 0 {
+                continue;
+            }
+            let mut correspondences = Vec::with_capacity(shared);
+            for a in 0..shared {
+                let erroneous = target_size > 1
+                    && self
+                        .rng
+                        .gen_bool(self.config.new_mapping_error_rate.clamp(0.0, 1.0));
+                let target_attr = if erroneous {
+                    let mut wrong = self.rng.gen_range(0..target_size - 1);
+                    if wrong >= a {
+                        wrong += 1;
+                    }
+                    AttributeId(wrong)
+                } else {
+                    AttributeId(a)
+                };
+                correspondences.push((AttributeId(a), target_attr, Some(AttributeId(a))));
+            }
+            return Some(NetworkEvent::AddMapping {
+                source,
+                target,
+                correspondences,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticNetwork};
+    use pdms_core::{DynamicPdms, DynamicsConfig};
+    use pdms_graph::GeneratorConfig;
+
+    fn base_network() -> SyntheticNetwork {
+        SyntheticNetwork::generate(SyntheticConfig {
+            topology: GeneratorConfig::small_world(10, 2, 0.2, 3),
+            attributes: 6,
+            error_rate: 0.1,
+            seed: 21,
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_a_seed() {
+        let net = base_network();
+        let a = ChurnGenerator::new(ChurnConfig::default()).epoch_events(&net.catalog);
+        let b = ChurnGenerator::new(ChurnConfig::default()).epoch_events(&net.catalog);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rates_control_the_event_mix() {
+        let net = base_network();
+        let mut quiet = ChurnGenerator::new(ChurnConfig {
+            corrupt_rate: 0.0,
+            repair_rate: 0.0,
+            drop_rate: 0.0,
+            new_mappings_per_epoch: 0.0,
+            ..Default::default()
+        });
+        assert!(quiet.epoch_events(&net.catalog).is_empty());
+
+        let mut noisy = ChurnGenerator::new(ChurnConfig {
+            corrupt_rate: 0.5,
+            repair_rate: 1.0,
+            drop_rate: 0.0,
+            new_mappings_per_epoch: 2.0,
+            ..Default::default()
+        });
+        let events = noisy.epoch_events(&net.catalog);
+        let corrupts = events.iter().filter(|e| matches!(e, NetworkEvent::Corrupt { .. })).count();
+        let repairs = events.iter().filter(|e| matches!(e, NetworkEvent::Repair { .. })).count();
+        let adds = events.iter().filter(|e| matches!(e, NetworkEvent::AddMapping { .. })).count();
+        assert!(corrupts > 0);
+        // Every currently-erroneous correspondence is repaired at rate 1.
+        assert_eq!(repairs, net.error_count());
+        assert!(adds >= 1 && adds <= 2);
+    }
+
+    #[test]
+    fn new_mappings_target_unconnected_pairs_and_respect_schemas() {
+        let net = base_network();
+        let mut generator = ChurnGenerator::new(ChurnConfig {
+            corrupt_rate: 0.0,
+            repair_rate: 0.0,
+            drop_rate: 0.0,
+            new_mappings_per_epoch: 5.0,
+            ..Default::default()
+        });
+        for event in generator.epoch_events(&net.catalog) {
+            if let NetworkEvent::AddMapping {
+                source,
+                target,
+                correspondences,
+            } = event
+            {
+                assert!(net.catalog.mappings_between(source, target).is_empty());
+                assert_ne!(source, target);
+                let target_size = net.catalog.peer_schema(target).attribute_count();
+                for (source_attr, target_attr, expected) in correspondences {
+                    assert!(source_attr.0 < net.catalog.peer_schema(source).attribute_count());
+                    assert!(target_attr.0 < target_size);
+                    assert_eq!(expected, Some(source_attr));
+                }
+            } else {
+                panic!("only AddMapping events were configured");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_drives_a_dynamic_pdms_through_many_epochs() {
+        let net = base_network();
+        let mut pdms = DynamicPdms::new(net.catalog.clone(), DynamicsConfig::default());
+        let mut generator = ChurnGenerator::new(ChurnConfig {
+            corrupt_rate: 0.05,
+            repair_rate: 0.5,
+            drop_rate: 0.0,
+            new_mappings_per_epoch: 1.0,
+            ..Default::default()
+        });
+        for _ in 0..4 {
+            let events = generator.epoch_events(pdms.catalog());
+            pdms.apply(&events);
+            pdms.run_epoch();
+        }
+        assert_eq!(pdms.history().len(), 4);
+        // The catalog grew (one new mapping per epoch, pairs permitting) and every epoch
+        // produced a consistent report.
+        assert!(pdms.catalog().mapping_count() >= net.catalog.mapping_count());
+        for epoch in pdms.history() {
+            assert!(epoch.mappings >= net.catalog.mapping_count());
+            assert!(epoch.evaluation.total() > 0);
+        }
+    }
+}

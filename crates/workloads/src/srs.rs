@@ -1,0 +1,267 @@
+//! An SRS-style semantic overlay network.
+//!
+//! Section 3.2.1 motivates the whole cycle-analysis approach with a measurement of a
+//! real network of related biological schemas (the SRS system): an *exponential* degree
+//! distribution and an "unusually high clustering coefficient of 0.54". That data set
+//! is not redistributable, so this generator produces topologies with the same two
+//! signatures: peers are grouped into densely meshed clusters of related schemas
+//! (driving the clustering coefficient up) and a minority of hub peers link clusters
+//! together (producing the fast-decaying degree tail). The resulting catalog uses the
+//! same schema/error model as [`crate::synthetic`], so it plugs straight into the
+//! engine and the figure harnesses.
+
+use crate::synthetic::catalog_from_topology;
+use pdms_graph::{clustering_coefficient, degree_stats, DiGraph, NodeId};
+use pdms_schema::{AttributeId, Catalog, MappingId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the SRS-style generator.
+#[derive(Debug, Clone)]
+pub struct SrsConfig {
+    /// Total number of peers.
+    pub peers: usize,
+    /// Mean cluster size (clusters are drawn between half and twice this value).
+    pub mean_cluster_size: usize,
+    /// Probability that two peers of the same cluster are connected (in each
+    /// direction). High values drive the clustering coefficient towards the measured
+    /// 0.54.
+    pub intra_cluster_density: f64,
+    /// Number of inter-cluster links attached to each cluster's hub peer.
+    pub hub_links: usize,
+    /// Attributes per schema.
+    pub attributes: usize,
+    /// Fraction of correspondences injected with an error.
+    pub error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SrsConfig {
+    fn default() -> Self {
+        Self {
+            peers: 40,
+            mean_cluster_size: 6,
+            intra_cluster_density: 0.75,
+            hub_links: 2,
+            attributes: 10,
+            error_rate: 0.1,
+            seed: 54,
+        }
+    }
+}
+
+/// A generated SRS-style network.
+#[derive(Debug, Clone)]
+pub struct SrsNetwork {
+    /// The catalog (peers, schemas, mappings with ground truth).
+    pub catalog: Catalog,
+    /// `(mapping, attribute)` pairs injected with an error.
+    pub injected_errors: Vec<(MappingId, AttributeId)>,
+    /// Cluster membership: `clusters[k]` lists the node indices of cluster `k`.
+    pub clusters: Vec<Vec<usize>>,
+    /// Undirected clustering coefficient of the generated topology.
+    pub clustering_coefficient: f64,
+    /// Mean total degree.
+    pub mean_degree: f64,
+    /// Maximum total degree (the biggest hub).
+    pub max_degree: usize,
+}
+
+impl SrsNetwork {
+    /// Generates an SRS-style network.
+    ///
+    /// # Panics
+    /// Panics if `peers == 0` or `mean_cluster_size == 0`.
+    pub fn generate(config: SrsConfig) -> Self {
+        assert!(config.peers > 0, "need at least one peer");
+        assert!(config.mean_cluster_size > 0, "clusters cannot be empty");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Partition the peers into clusters of random size around the mean.
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut next = 0usize;
+        while next < config.peers {
+            let lower = (config.mean_cluster_size / 2).max(2);
+            let upper = (config.mean_cluster_size * 2).max(lower + 1);
+            let size = rng.gen_range(lower..=upper).min(config.peers - next);
+            clusters.push((next..next + size).collect());
+            next += size;
+        }
+
+        let mut graph = DiGraph::with_nodes(config.peers);
+        // Dense intra-cluster meshing.
+        for cluster in &clusters {
+            for (i, &a) in cluster.iter().enumerate() {
+                for &b in cluster.iter().skip(i + 1) {
+                    if rng.gen_bool(config.intra_cluster_density.clamp(0.0, 1.0)) {
+                        graph.add_edge(NodeId(a), NodeId(b));
+                    }
+                    if rng.gen_bool(config.intra_cluster_density.clamp(0.0, 1.0)) {
+                        graph.add_edge(NodeId(b), NodeId(a));
+                    }
+                }
+            }
+        }
+        // Hub links: the first peer of every cluster links to peers of other clusters,
+        // preferring other hubs (which concentrates degree on a few nodes, the
+        // fast-decaying tail of an exponential degree distribution).
+        if clusters.len() > 1 {
+            for (k, cluster) in clusters.iter().enumerate() {
+                let hub = cluster[0];
+                for link in 0..config.hub_links {
+                    let other_cluster = {
+                        let mut pick = rng.gen_range(0..clusters.len() - 1);
+                        if pick >= k {
+                            pick += 1;
+                        }
+                        pick
+                    };
+                    let target_cluster = &clusters[other_cluster];
+                    // Every other link goes hub-to-hub, the rest to a random member.
+                    let target = if link % 2 == 0 {
+                        target_cluster[0]
+                    } else {
+                        target_cluster[rng.gen_range(0..target_cluster.len())]
+                    };
+                    if graph.find_edge(NodeId(hub), NodeId(target)).is_none() {
+                        graph.add_edge(NodeId(hub), NodeId(target));
+                    }
+                    if graph.find_edge(NodeId(target), NodeId(hub)).is_none() {
+                        graph.add_edge(NodeId(target), NodeId(hub));
+                    }
+                }
+            }
+        }
+
+        let clustering = clustering_coefficient(&graph);
+        let degrees = degree_stats(&graph);
+        let (catalog, injected_errors) =
+            catalog_from_topology(&graph, config.attributes, config.error_rate, config.seed ^ 0x5151);
+        Self {
+            catalog,
+            injected_errors,
+            clusters,
+            clustering_coefficient: clustering,
+            mean_degree: degrees.mean,
+            max_degree: degrees.max,
+        }
+    }
+
+    /// Effective error rate over all correspondences.
+    pub fn effective_error_rate(&self) -> f64 {
+        let total: usize = self
+            .catalog
+            .mappings()
+            .map(|m| self.catalog.mapping(m).correspondence_count())
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.injected_errors.len() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_coefficient_matches_the_srs_measurement() {
+        let net = SrsNetwork::generate(SrsConfig::default());
+        assert!(
+            net.clustering_coefficient > 0.4,
+            "clustering coefficient {} should approach the measured 0.54",
+            net.clustering_coefficient
+        );
+        assert!(net.clustering_coefficient <= 1.0);
+    }
+
+    #[test]
+    fn degree_distribution_has_hubs_and_a_fast_decaying_tail() {
+        let net = SrsNetwork::generate(SrsConfig {
+            peers: 60,
+            ..Default::default()
+        });
+        // Hubs exist: the maximum degree clearly exceeds the mean.
+        assert!(
+            net.max_degree as f64 > 1.5 * net.mean_degree,
+            "max {} mean {}",
+            net.max_degree,
+            net.mean_degree
+        );
+        // And most peers sit below the mean + a small margin (exponential, not uniform).
+        let below: usize = net
+            .catalog
+            .peers()
+            .filter(|p| {
+                let degree = net.catalog.outgoing_mappings(*p).len() + net.catalog.incoming_mappings(*p).len();
+                (degree as f64) <= net.mean_degree * 1.5
+            })
+            .count();
+        assert!(below * 10 >= net.catalog.peer_count() * 6, "{below} of {} below 1.5×mean", net.catalog.peer_count());
+    }
+
+    #[test]
+    fn cluster_partition_covers_every_peer_exactly_once() {
+        let net = SrsNetwork::generate(SrsConfig::default());
+        let mut seen = vec![false; net.catalog.peer_count()];
+        for cluster in &net.clusters {
+            assert!(cluster.len() >= 2 || net.clusters.len() == 1);
+            for &peer in cluster {
+                assert!(!seen[peer], "peer {peer} in two clusters");
+                seen[peer] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn error_rate_is_roughly_respected() {
+        let net = SrsNetwork::generate(SrsConfig {
+            peers: 50,
+            error_rate: 0.2,
+            seed: 9,
+            ..Default::default()
+        });
+        let rate = net.effective_error_rate();
+        assert!((rate - 0.2).abs() < 0.07, "effective error rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_a_seed() {
+        let a = SrsNetwork::generate(SrsConfig::default());
+        let b = SrsNetwork::generate(SrsConfig::default());
+        assert_eq!(a.catalog.mapping_count(), b.catalog.mapping_count());
+        assert_eq!(a.injected_errors, b.injected_errors);
+        assert_eq!(a.clusters, b.clusters);
+        let c = SrsNetwork::generate(SrsConfig {
+            seed: 99,
+            ..Default::default()
+        });
+        assert_ne!(a.catalog.mapping_count(), 0);
+        assert!(a.catalog.mapping_count() != c.catalog.mapping_count() || a.injected_errors != c.injected_errors);
+    }
+
+    #[test]
+    fn the_network_is_densely_cyclic_enough_for_the_engine() {
+        // The whole point of the SRS observation is that such networks have plenty of
+        // short cycles for the analysis to exploit.
+        let net = SrsNetwork::generate(SrsConfig::default());
+        let analysis = pdms_core::CycleAnalysis::analyze(
+            &net.catalog,
+            &pdms_core::AnalysisConfig {
+                max_cycle_len: 3,
+                max_path_len: 2,
+                include_parallel_paths: false,
+            },
+        );
+        assert!(
+            analysis.evidences.len() > net.catalog.peer_count(),
+            "{} cycles for {} peers",
+            analysis.evidences.len(),
+            net.catalog.peer_count()
+        );
+    }
+}

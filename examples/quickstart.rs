@@ -1,0 +1,83 @@
+//! Quickstart: build a tiny PDMS, detect the faulty mapping, route a query around it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pdms::core::{Engine, EngineConfig, RoutingPolicy};
+use pdms::schema::{AttributeId, Catalog, PeerId, Predicate, Query};
+
+fn main() {
+    // 1. Describe the PDMS: four art databases, five pairwise schema mappings.
+    //    Every schema has the same eleven attributes here for brevity; in general each
+    //    peer brings its own schema and mappings connect semantically similar
+    //    attributes.
+    let attribute_names = [
+        "Creator", "Item", "CreatedOn", "Title", "Subject", "Medium", "Height", "Width",
+        "Location", "Owner", "Licence",
+    ];
+    let mut catalog = Catalog::new();
+    let peers: Vec<PeerId> = (1..=4)
+        .map(|i| {
+            catalog.add_peer_with_schema(format!("p{i}"), |schema| {
+                schema.attributes(attribute_names);
+            })
+        })
+        .collect();
+    let creator = AttributeId(0);
+    let item = AttributeId(1);
+    let created_on = AttributeId(2);
+    let all_correct = |mut m: pdms::schema::MappingBuilder| {
+        for a in 0..attribute_names.len() {
+            m = m.correct(AttributeId(a), AttributeId(a));
+        }
+        m
+    };
+    catalog.add_mapping(peers[0], peers[1], all_correct); // m12
+    catalog.add_mapping(peers[1], peers[2], all_correct); // m23
+    catalog.add_mapping(peers[2], peers[3], all_correct); // m34
+    catalog.add_mapping(peers[3], peers[0], all_correct); // m41
+    // m24 was generated automatically and erroneously maps Creator onto CreatedOn.
+    catalog.add_mapping(peers[1], peers[3], |mut m| {
+        m = m.erroneous(creator, created_on, creator);
+        for a in 1..attribute_names.len() {
+            m = m.correct(AttributeId(a), AttributeId(a));
+        }
+        m
+    });
+
+    // 2. Run the probabilistic message-passing engine: it discovers mapping cycles and
+    //    parallel paths, turns the feedback into a factor graph, and estimates the
+    //    probability that each mapping preserves each attribute.
+    let mut engine = Engine::new(catalog, EngineConfig::default());
+    let report = engine.run();
+    println!("converged after {} rounds (delta = {:.2})\n", report.rounds, report.delta);
+    println!("posterior P(mapping preserves Creator):");
+    for mapping in engine.catalog().mappings() {
+        let (from, to) = engine.catalog().mapping_endpoints(mapping);
+        let p = report.posteriors.probability(engine.catalog(), mapping, creator);
+        println!(
+            "  {} -> {}  {mapping}: {p:.3}{}",
+            engine.catalog().peer_name(from),
+            engine.catalog().peer_name(to),
+            if p < 0.5 { "   <-- flagged as faulty" } else { "" }
+        );
+    }
+
+    // 3. Pose the introductory query at p2 ("names of all artists having created a
+    //    piece of work related to some river") and let the posteriors steer routing.
+    let query = Query::new()
+        .project(creator)
+        .select(item, Predicate::Contains("river".into()));
+    let outcome = engine.route(&report, peers[1], &query, &RoutingPolicy::uniform(0.5));
+    println!("\nquery routed from p2:");
+    println!("  peers reached:        {}", outcome.reached.len());
+    println!("  false-positive peers: {}", outcome.tainted.len());
+    for decision in &outcome.decisions {
+        println!(
+            "  {} {} -> {}: {}",
+            decision.mapping,
+            decision.from,
+            decision.to,
+            if decision.forwarded { "forwarded" } else { "blocked" }
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # pdms — Probabilistic Message Passing in Peer Data Management Systems
+//!
+//! Facade crate for the reproduction of Cudré-Mauroux, Aberer and Feher,
+//! *"Probabilistic Message Passing in Peer Data Management Systems"*, ICDE 2006.
+//!
+//! A Peer Data Management System (PDMS) answers queries over a network of autonomous
+//! databases connected by pairwise schema mappings; some of those mappings are wrong.
+//! The paper — and this workspace — detects the faulty ones without any central
+//! component, by turning mapping cycles and parallel paths into feedback observations
+//! over a factor graph and running decentralized loopy belief propagation embedded in
+//! normal PDMS query traffic.
+//!
+//! The functionality lives in the member crates, re-exported here:
+//!
+//! * [`graph`] — mapping-network topology, cycle and parallel-path enumeration,
+//!   random generators;
+//! * [`schema`] — schemas, attributes, queries, mappings, query translation;
+//! * [`factor`] — factor graphs and sum-product (loopy BP) inference;
+//! * [`network`] — the decentralized PDMS simulator with lossy transport;
+//! * [`core`] — the paper's contribution: cycle analysis, local factor graphs,
+//!   embedded message passing, prior updates, posterior-driven routing, baselines,
+//!   plus the adaptive TTL expansion, overhead accounting, and network-dynamics
+//!   machinery of the later sections;
+//! * [`workloads`] — the introductory example network, synthetic topologies, the
+//!   EON-style ontology alignment scenario, SRS-style clustered topologies, and churn
+//!   generators;
+//! * [`rdf`] — OWL / RDF-XML / alignment-document import and export (the Section 5.2
+//!   tool), so real ontology files can be turned into a PDMS catalog and back.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment-by-experiment reproduction notes.
+
+pub use pdms_core as core;
+pub use pdms_factor as factor;
+pub use pdms_graph as graph;
+pub use pdms_network as network;
+pub use pdms_rdf as rdf;
+pub use pdms_schema as schema;
+pub use pdms_workloads as workloads;

@@ -1,0 +1,90 @@
+//! End-to-end dynamics: churn applied to a synthetic PDMS, assessed epoch by epoch.
+
+use pdms::core::{DynamicPdms, DynamicsConfig, NetworkEvent};
+use pdms::graph::GeneratorConfig;
+use pdms::schema::{AttributeId, MappingId};
+use pdms::workloads::{ChurnConfig, ChurnGenerator, SyntheticConfig, SyntheticNetwork};
+
+fn base_network() -> SyntheticNetwork {
+    SyntheticNetwork::generate(SyntheticConfig {
+        topology: GeneratorConfig::small_world(10, 2, 0.2, 11),
+        attributes: 8,
+        error_rate: 0.0,
+        seed: 4,
+    })
+}
+
+#[test]
+fn churn_epochs_keep_the_catalog_and_reports_consistent() {
+    let network = base_network();
+    let mut pdms = DynamicPdms::new(network.catalog.clone(), DynamicsConfig::default());
+    let mut churn = ChurnGenerator::new(ChurnConfig {
+        corrupt_rate: 0.05,
+        repair_rate: 0.3,
+        drop_rate: 0.01,
+        new_mappings_per_epoch: 1.0,
+        new_mapping_error_rate: 0.25,
+        seed: 99,
+    });
+
+    let initial_mappings = network.catalog.mapping_count();
+    for epoch in 0..5 {
+        if epoch > 0 {
+            let events = churn.epoch_events(pdms.catalog());
+            pdms.apply(&events);
+        }
+        let report = pdms.run_epoch().clone();
+        assert_eq!(report.epoch, epoch);
+        assert_eq!(report.mappings, pdms.catalog().mapping_count());
+        assert_eq!(report.erroneous_mappings, pdms.catalog().erroneous_mapping_count());
+        assert!(report.evaluation.total() > 0);
+        assert!(report.posterior_drift >= 0.0 && report.posterior_drift <= 1.0);
+    }
+    assert_eq!(pdms.history().len(), 5);
+    assert!(pdms.catalog().mapping_count() >= initial_mappings);
+}
+
+#[test]
+fn a_single_corruption_is_found_and_forgotten_after_repair() {
+    // A directed ring of six peers: every mapping sits on the ring cycle, so corrupting
+    // any correspondence is guaranteed to show up in the cycle feedback.
+    let network = SyntheticNetwork::generate(SyntheticConfig {
+        topology: GeneratorConfig::ring(6),
+        attributes: 8,
+        error_rate: 0.0,
+        seed: 4,
+    });
+    assert_eq!(network.catalog.erroneous_mapping_count(), 0);
+    let mut pdms = DynamicPdms::new(
+        network.catalog,
+        DynamicsConfig {
+            update_priors: false,
+            ..Default::default()
+        },
+    );
+
+    // Epoch 0: clean network, nothing flagged.
+    let clean = pdms.run_epoch().clone();
+    assert_eq!(clean.evaluation.true_positives, 0);
+
+    // Corrupt one correspondence that participates in at least one cycle.
+    let corrupted_mapping = MappingId(0);
+    pdms.apply(&[NetworkEvent::Corrupt {
+        mapping: corrupted_mapping,
+        attribute: AttributeId(0),
+        wrong_target: AttributeId(3),
+    }]);
+    let corrupted = pdms.run_epoch().clone();
+    assert_eq!(corrupted.erroneous_mappings, 1);
+    assert!(corrupted.posterior_drift > 0.0);
+
+    // Repair it; ground truth is clean again and the evaluation contains no true
+    // positives (there is nothing left to find).
+    pdms.apply(&[NetworkEvent::Repair {
+        mapping: corrupted_mapping,
+        attribute: AttributeId(0),
+    }]);
+    let repaired = pdms.run_epoch().clone();
+    assert_eq!(repaired.erroneous_mappings, 0);
+    assert_eq!(repaired.evaluation.true_positives, 0);
+}

@@ -1,0 +1,146 @@
+//! Cross-crate agreement of the inference backends.
+//!
+//! The same probabilistic model is evaluated by brute-force enumeration, variable
+//! elimination, junction-tree propagation, and loopy belief propagation; the exact
+//! backends must agree to numerical precision, the loopy approximation must stay close
+//! (the property Figure 9 measures), and the MAP assignment must blame exactly the
+//! mappings whose marginal falls below one half whenever the evidence is clear-cut.
+
+use pdms::core::{AnalysisConfig, CycleAnalysis, Granularity, MappingModel};
+use pdms::factor::{
+    eliminate_marginals, exact_marginals, junction_tree_marginals, map_assignment,
+    run_sum_product, SumProductConfig,
+};
+use pdms::schema::{AttributeId, Catalog, PeerId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Builds a ring catalog of `peers` peers over `attributes` attributes, with the listed
+/// `(mapping index, attribute)` pairs corrupted.
+fn ring_catalog(peers: usize, attributes: usize, errors: &[(usize, usize)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    let ids: Vec<PeerId> = (0..peers)
+        .map(|i| {
+            catalog.add_peer_with_schema(format!("p{i}"), |schema| {
+                for a in 0..attributes {
+                    schema.attribute(format!("attr{a}"));
+                }
+            })
+        })
+        .collect();
+    for i in 0..peers {
+        let source = ids[i];
+        let target = ids[(i + 1) % peers];
+        catalog.add_mapping(source, target, |mut m| {
+            for a in 0..attributes {
+                let attr = AttributeId(a);
+                let corrupted = errors.contains(&(i, a));
+                m = if corrupted {
+                    m.erroneous(attr, AttributeId((a + 1) % attributes), attr)
+                } else {
+                    m.correct(attr, attr)
+                };
+            }
+            m
+        });
+    }
+    catalog
+}
+
+fn model_for(catalog: &Catalog) -> MappingModel {
+    let analysis = CycleAnalysis::analyze(catalog, &AnalysisConfig::default());
+    MappingModel::build(catalog, &analysis, Granularity::Fine, 0.1)
+}
+
+#[test]
+fn exact_backends_agree_on_the_ring_with_one_error() {
+    let catalog = ring_catalog(4, 3, &[(2, 1)]);
+    let model = model_for(&catalog);
+    let graph = model.global_factor_graph(&BTreeMap::new(), 0.6);
+    let enumeration = exact_marginals(&graph);
+    let elimination = eliminate_marginals(&graph);
+    let junction = junction_tree_marginals(&graph);
+    for ((a, b), c) in enumeration.iter().zip(&elimination).zip(&junction) {
+        assert!((a - b).abs() < 1e-9, "enumeration {a} vs elimination {b}");
+        assert!((a - c).abs() < 1e-9, "enumeration {a} vs junction tree {c}");
+    }
+}
+
+#[test]
+fn loopy_bp_stays_close_to_exact_on_the_ring() {
+    let catalog = ring_catalog(5, 3, &[(1, 0)]);
+    let model = model_for(&catalog);
+    let graph = model.global_factor_graph(&BTreeMap::new(), 0.7);
+    let exact = eliminate_marginals(&graph);
+    let loopy = run_sum_product(&graph, SumProductConfig::default());
+    assert!(loopy.converged);
+    for (e, l) in exact.iter().zip(&loopy.posteriors) {
+        assert!(
+            (e - l).abs() < 0.1,
+            "loopy {l} strays too far from exact {e} (Figure 9 bound is a few percent)"
+        );
+    }
+}
+
+#[test]
+fn map_assignment_blames_the_corrupted_mapping() {
+    // The introductory-network shape: a ring plus a faulty chord. The chord is the only
+    // mapping shared by every negative observation, so both the marginals and the MAP
+    // assignment must single it out.
+    let mut catalog = ring_catalog(4, 3, &[]);
+    let chord_source = PeerId(1);
+    let chord_target = PeerId(3);
+    catalog.add_mapping(chord_source, chord_target, |m| {
+        m.erroneous(AttributeId(0), AttributeId(1), AttributeId(0))
+            .correct(AttributeId(1), AttributeId(1))
+            .correct(AttributeId(2), AttributeId(2))
+    });
+    let model = model_for(&catalog);
+    let graph = model.global_factor_graph(&BTreeMap::new(), 0.6);
+    let map = map_assignment(&graph);
+    let marginals = eliminate_marginals(&graph);
+    // Every variable the marginals call clearly faulty (< 0.4) must be incorrect in the
+    // MAP assignment, and every clearly-correct one (> 0.6) must be correct.
+    for (index, key) in model.variables.iter().enumerate() {
+        if marginals[index] < 0.4 {
+            assert!(
+                !map.is_correct(pdms::factor::VariableId(index)),
+                "variable {key:?} has marginal {} but MAP says correct",
+                marginals[index]
+            );
+        }
+        if marginals[index] > 0.6 {
+            assert!(map.is_correct(pdms::factor::VariableId(index)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Elimination and junction-tree propagation agree on randomly corrupted rings of
+    /// random size (enumeration is skipped: the fine model can exceed its 24-variable
+    /// cap).
+    #[test]
+    fn elimination_and_junction_tree_agree_on_random_rings(
+        peers in 3usize..6,
+        attributes in 2usize..4,
+        errors in prop::collection::vec((0usize..6, 0usize..4), 0..3),
+    ) {
+        let errors: Vec<(usize, usize)> = errors
+            .into_iter()
+            .map(|(m, a)| (m % peers, a % attributes))
+            .collect();
+        let catalog = ring_catalog(peers, attributes, &errors);
+        let model = model_for(&catalog);
+        if model.variable_count() == 0 {
+            return Ok(());
+        }
+        let graph = model.global_factor_graph(&BTreeMap::new(), 0.5);
+        let elimination = eliminate_marginals(&graph);
+        let junction = junction_tree_marginals(&graph);
+        for (a, b) in elimination.iter().zip(&junction) {
+            prop_assert!((a - b).abs() < 1e-8, "elimination {} vs junction tree {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests: invariants of the inference pipeline that must
+//! hold for arbitrary small mapping networks.
+
+use pdms::core::{
+    run_embedded, AnalysisConfig, CycleAnalysis, EmbeddedConfig, Granularity, MappingModel,
+};
+use pdms::factor::exact_marginals;
+use pdms::schema::{AttributeId, Catalog, PeerId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Builds a ring catalog of `peers` peers and `attrs` attributes per schema, where each
+/// mapping misroutes attribute 0 according to the corresponding flag.
+fn ring_catalog(peers: usize, attrs: usize, faulty: &[bool]) -> Catalog {
+    let mut catalog = Catalog::new();
+    let ids: Vec<PeerId> = (0..peers)
+        .map(|i| {
+            catalog.add_peer_with_schema(format!("p{i}"), |schema| {
+                for a in 0..attrs {
+                    schema.attribute(format!("attr{a}"));
+                }
+            })
+        })
+        .collect();
+    for i in 0..peers {
+        let is_faulty = faulty.get(i).copied().unwrap_or(false);
+        catalog.add_mapping(ids[i], ids[(i + 1) % peers], |mut m| {
+            for a in 0..attrs {
+                let attr = AttributeId(a);
+                m = if a == 0 && is_faulty && attrs > 1 {
+                    m.erroneous(attr, AttributeId(1), attr)
+                } else {
+                    m.correct(attr, attr)
+                };
+            }
+            m
+        });
+    }
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Posteriors are probabilities and the embedded scheme always terminates.
+    #[test]
+    fn posteriors_are_probabilities(
+        peers in 3usize..7,
+        attrs in 2usize..5,
+        faulty_mask in proptest::collection::vec(proptest::bool::ANY, 0..7),
+        prior in 0.2f64..0.8,
+    ) {
+        let catalog = ring_catalog(peers, attrs, &faulty_mask);
+        let analysis = CycleAnalysis::analyze(&catalog, &AnalysisConfig::default());
+        let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, 0.1);
+        let report = run_embedded(&model, &BTreeMap::new(), prior, EmbeddedConfig {
+            record_history: false,
+            ..Default::default()
+        });
+        for p in &report.posteriors {
+            prop_assert!(p.is_finite());
+            prop_assert!((0.0..=1.0).contains(p), "posterior {p}");
+        }
+    }
+
+    /// On a single cycle the factor graph is a tree per attribute, so the embedded
+    /// scheme must agree with exact inference to numerical precision.
+    #[test]
+    fn embedded_is_exact_on_single_cycles(
+        peers in 3usize..6,
+        prior in 0.3f64..0.8,
+        delta in 0.01f64..0.5,
+    ) {
+        let catalog = ring_catalog(peers, 2, &[]);
+        let analysis = CycleAnalysis::analyze(&catalog, &AnalysisConfig {
+            max_cycle_len: peers,
+            max_path_len: 2,
+            include_parallel_paths: false,
+        });
+        let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, delta);
+        prop_assume!(model.variable_count() <= 20);
+        let priors = BTreeMap::new();
+        let embedded = run_embedded(&model, &priors, prior, EmbeddedConfig {
+            record_history: false,
+            ..Default::default()
+        });
+        let exact = exact_marginals(&model.global_factor_graph(&priors, prior));
+        for (a, b) in embedded.posteriors.iter().zip(&exact) {
+            prop_assert!((a - b).abs() < 1e-6, "embedded {a} vs exact {b}");
+        }
+    }
+
+    /// Message loss never changes the classification reached with a reliable network
+    /// (it only slows convergence down), provided enough rounds are allowed.
+    #[test]
+    fn message_loss_preserves_classification(
+        send_probability in 0.3f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let faulty = [false, true, false, false];
+        let catalog = ring_catalog(4, 3, &faulty);
+        let analysis = CycleAnalysis::analyze(&catalog, &AnalysisConfig::default());
+        let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, 0.1);
+        let priors = BTreeMap::new();
+        let reliable = run_embedded(&model, &priors, 0.6, EmbeddedConfig {
+            record_history: false,
+            ..Default::default()
+        });
+        let lossy = run_embedded(&model, &priors, 0.6, EmbeddedConfig {
+            send_probability,
+            seed,
+            max_rounds: 3000,
+            record_history: false,
+            ..Default::default()
+        });
+        prop_assert!(lossy.converged);
+        for (a, b) in reliable.posteriors.iter().zip(&lossy.posteriors) {
+            prop_assert_eq!(*a < 0.5, *b < 0.5, "reliable {} vs lossy {}", a, b);
+        }
+    }
+}
