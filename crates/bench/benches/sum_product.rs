@@ -2,7 +2,9 @@
 //! network grows (ring topologies of increasing size).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdms_core::{run_embedded, AnalysisConfig, CycleAnalysis, EmbeddedConfig, Granularity, MappingModel};
+use pdms_core::{
+    run_embedded, AnalysisConfig, CycleAnalysis, EmbeddedConfig, Granularity, MappingModel,
+};
 use pdms_factor::{run_sum_product, SumProductConfig};
 use pdms_workloads::simple_cycle;
 use std::collections::BTreeMap;
@@ -33,19 +35,23 @@ fn bench_sum_product(c: &mut Criterion) {
                 )
             })
         });
-        group.bench_with_input(BenchmarkId::new("embedded_message_passing", n), &n, |b, _| {
-            b.iter(|| {
-                run_embedded(
-                    &model,
-                    &priors,
-                    0.6,
-                    EmbeddedConfig {
-                        record_history: false,
-                        ..Default::default()
-                    },
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("embedded_message_passing", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    run_embedded(
+                        &model,
+                        &priors,
+                        0.6,
+                        EmbeddedConfig {
+                            record_history: false,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -67,10 +67,16 @@ fn main() {
     print_table(
         "epoch",
         &[
-            Series::new("precision", with_memory.iter().map(|r| (r.0, r.1)).collect()),
+            Series::new(
+                "precision",
+                with_memory.iter().map(|r| (r.0, r.1)).collect(),
+            ),
             Series::new("recall", with_memory.iter().map(|r| (r.0, r.2)).collect()),
             Series::new("drift", with_memory.iter().map(|r| (r.0, r.3)).collect()),
-            Series::new("msgs/round", with_memory.iter().map(|r| (r.0, r.4)).collect()),
+            Series::new(
+                "msgs/round",
+                with_memory.iter().map(|r| (r.0, r.4)).collect(),
+            ),
         ],
     );
     println!();
@@ -83,7 +89,10 @@ fn main() {
             Series::new("precision", memoryless.iter().map(|r| (r.0, r.1)).collect()),
             Series::new("recall", memoryless.iter().map(|r| (r.0, r.2)).collect()),
             Series::new("drift", memoryless.iter().map(|r| (r.0, r.3)).collect()),
-            Series::new("msgs/round", memoryless.iter().map(|r| (r.0, r.4)).collect()),
+            Series::new(
+                "msgs/round",
+                memoryless.iter().map(|r| (r.0, r.4)).collect(),
+            ),
         ],
     );
     println!();
@@ -91,10 +100,22 @@ fn main() {
     let avg = |rows: &[(f64, f64, f64, f64, f64)], pick: fn(&(f64, f64, f64, f64, f64)) -> f64| {
         rows.iter().map(pick).sum::<f64>() / rows.len() as f64
     };
-    print_kv("mean precision, with memory", format!("{:.3}", avg(&with_memory, |r| r.1)));
-    print_kv("mean precision, memory-less", format!("{:.3}", avg(&memoryless, |r| r.1)));
-    print_kv("mean drift, with memory", format!("{:.3}", avg(&with_memory, |r| r.3)));
-    print_kv("mean drift, memory-less", format!("{:.3}", avg(&memoryless, |r| r.3)));
+    print_kv(
+        "mean precision, with memory",
+        format!("{:.3}", avg(&with_memory, |r| r.1)),
+    );
+    print_kv(
+        "mean precision, memory-less",
+        format!("{:.3}", avg(&memoryless, |r| r.1)),
+    );
+    print_kv(
+        "mean drift, with memory",
+        format!("{:.3}", avg(&with_memory, |r| r.3)),
+    );
+    print_kv(
+        "mean drift, memory-less",
+        format!("{:.3}", avg(&memoryless, |r| r.3)),
+    );
     println!();
     println!(
         "Expected shape: detection quality stays high across epochs while the per-round\n\

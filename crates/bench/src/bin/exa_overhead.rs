@@ -10,7 +10,9 @@ use pdms_bench::{print_header, print_kv, print_table, Series};
 use pdms_core::{communication_overhead, AnalysisConfig, CycleAnalysis, Granularity, MappingModel};
 use pdms_graph::GeneratorConfig;
 use pdms_schema::Catalog;
-use pdms_workloads::{generate_ontology_suite, intro_network, OntologySuiteConfig, SyntheticConfig, SyntheticNetwork};
+use pdms_workloads::{
+    generate_ontology_suite, intro_network, OntologySuiteConfig, SyntheticConfig, SyntheticNetwork,
+};
 
 fn profile(catalog: &Catalog, config: &AnalysisConfig) -> (usize, usize, f64) {
     let analysis = CycleAnalysis::analyze(catalog, config);

@@ -63,12 +63,28 @@ impl VotingBaseline {
 
     /// The tally of one `(mapping, attribute)` pair.
     pub fn tally(&self, mapping: MappingId, attribute: AttributeId) -> VoteTally {
-        self.tallies.get(&(mapping, attribute)).copied().unwrap_or_default()
+        self.tallies
+            .get(&(mapping, attribute))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Score (good-vote fraction) of one pair.
     pub fn score(&self, mapping: MappingId, attribute: AttributeId) -> f64 {
         self.tally(mapping, attribute).score()
+    }
+
+    /// Worst (minimum) per-attribute score among the attributes of `mapping` that
+    /// received at least one vote, or `None` when nothing voted on the mapping — the
+    /// conservative coarse-granularity aggregate (a mapping is only as good as its
+    /// worst attribute).
+    pub fn mapping_score(&self, mapping: MappingId) -> Option<f64> {
+        self.tallies
+            .range((mapping, AttributeId(0))..=(mapping, AttributeId(usize::MAX)))
+            .map(|(_, tally)| tally.score())
+            .fold(None, |worst, score| {
+                Some(worst.map_or(score, |w: f64| w.min(score)))
+            })
     }
 
     /// Pairs whose score falls strictly below `threshold` — the mappings the heuristic
@@ -159,7 +175,9 @@ mod tests {
         let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
         let baseline = VotingBaseline::from_analysis(&analysis);
         // The faulty pair is nailed to a score of zero…
-        assert!(baseline.disqualified(0.5).contains(&(MappingId(4), AttributeId(0))));
+        assert!(baseline
+            .disqualified(0.5)
+            .contains(&(MappingId(4), AttributeId(0))));
         // …but the correct mapping m12, which shares the negative cycle f2 with m24 on
         // Creator, is stuck at the break-even score 0.5: the vote count cannot
         // exonerate it, so any cautious threshold (here 0.55) wrongly disqualifies it
@@ -168,9 +186,7 @@ mod tests {
         let disqualified = baseline.disqualified(0.55);
         let wrongly_disqualified = disqualified
             .iter()
-            .filter(|(m, a)| {
-                cat.mapping(*m).is_correct_for(*a).unwrap_or(true)
-            })
+            .filter(|(m, a)| cat.mapping(*m).is_correct_for(*a).unwrap_or(true))
             .count();
         assert!(
             wrongly_disqualified > 0,
@@ -203,6 +219,24 @@ mod tests {
         let baseline = VotingBaseline::default();
         assert_eq!(baseline.score(MappingId(9), AttributeId(9)), 0.5);
         assert!(baseline.disqualified(0.5).is_empty());
+    }
+
+    #[test]
+    fn mapping_score_is_the_minimum_over_voted_attributes() {
+        let cat = intro_catalog();
+        let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
+        let baseline = VotingBaseline::from_analysis(&analysis);
+        // m24 has a 0.0 score on Creator, positive votes elsewhere: min is 0.0.
+        assert_eq!(baseline.mapping_score(MappingId(4)), Some(0.0));
+        // m12's worst voted attribute is the break-even Creator tally.
+        assert_eq!(baseline.mapping_score(MappingId(0)), Some(0.5));
+        // A mapping nothing voted on has no score at all.
+        assert_eq!(baseline.mapping_score(MappingId(17)), None);
+        // The minimum never exceeds any individual attribute score.
+        for (mapping, attribute) in baseline.tallies.keys() {
+            let aggregate = baseline.mapping_score(*mapping).unwrap();
+            assert!(aggregate <= baseline.score(*mapping, *attribute) + 1e-12);
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! of parallel paths depending on the edge orientations.
 
 use crate::feedback::{Feedback, FeedbackObservation};
-use pdms_graph::{enumerate_cycles, enumerate_parallel_paths, DiGraph, NodeId};
+use pdms_graph::{
+    cycles_through_edge, enumerate_cycles, enumerate_parallel_paths, parallel_paths_through_edge,
+    DiGraph, EdgeId, NodeId,
+};
 use pdms_schema::{AttributeId, Catalog, MappingId, PeerId};
 
 /// Where an evidence path comes from.
@@ -140,7 +143,9 @@ impl CycleAnalysis {
 
     /// Observations that carry information (positive or negative feedback).
     pub fn informative_observations(&self) -> impl Iterator<Item = &FeedbackObservation> {
-        self.observations.iter().filter(|o| o.feedback.is_informative())
+        self.observations
+            .iter()
+            .filter(|o| o.feedback.is_informative())
     }
 
     /// Observations about a given mapping (any feedback sign).
@@ -153,7 +158,10 @@ impl CycleAnalysis {
 
     /// Evidence paths through a given mapping.
     pub fn evidences_through(&self, mapping: MappingId) -> Vec<&EvidencePath> {
-        self.evidences.iter().filter(|e| e.contains(mapping)).collect()
+        self.evidences
+            .iter()
+            .filter(|e| e.contains(mapping))
+            .collect()
     }
 
     /// Counts of (positive, negative, neutral) observations.
@@ -168,14 +176,182 @@ impl CycleAnalysis {
         }
         counts
     }
+
+    /// Incorporates a mapping just added to `catalog` without re-enumerating the whole
+    /// network: only the cycles and parallel-path pairs through the new mapping's edge
+    /// are searched (every other evidence path is untouched — an edge addition cannot
+    /// create or destroy evidence that does not use it).
+    pub fn add_mapping_incremental(
+        &mut self,
+        catalog: &Catalog,
+        mapping: MappingId,
+        config: &AnalysisConfig,
+    ) -> AnalysisDelta {
+        let graph = build_topology(catalog);
+        let edge = EdgeId(mapping.0);
+        let reused = self.evidences.len();
+        for cycle in cycles_through_edge(&graph, edge, config.max_cycle_len, true) {
+            let origin = PeerId(cycle.nodes[0].0);
+            self.evidences.push(EvidencePath {
+                id: self.evidences.len(),
+                source: EvidenceSource::Cycle { origin },
+                mappings: cycle.edges.iter().map(|e| MappingId(e.0)).collect(),
+                split: None,
+            });
+        }
+        if config.include_parallel_paths {
+            for pp in parallel_paths_through_edge(&graph, edge, config.max_path_len) {
+                let mut mappings: Vec<MappingId> = pp.left.iter().map(|e| MappingId(e.0)).collect();
+                let split = mappings.len();
+                mappings.extend(pp.right.iter().map(|e| MappingId(e.0)));
+                self.evidences.push(EvidencePath {
+                    id: self.evidences.len(),
+                    source: EvidenceSource::ParallelPaths {
+                        source: PeerId(pp.source.0),
+                        destination: PeerId(pp.destination.0),
+                    },
+                    mappings,
+                    split: Some(split),
+                });
+            }
+        }
+        let added = self.evidences.len() - reused;
+        for evidence in &self.evidences[reused..] {
+            self.observations.extend(observe(catalog, evidence));
+        }
+        AnalysisDelta {
+            evidences_added: added,
+            evidences_removed: 0,
+            evidences_reobserved: 0,
+            evidences_reused: reused,
+        }
+    }
+
+    /// Drops every evidence path using a removed mapping, compacting evidence ids (an
+    /// edge removal cannot affect evidence that does not use it).
+    pub fn remove_mapping_incremental(&mut self, mapping: MappingId) -> AnalysisDelta {
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.evidences.len());
+        let mut kept = 0usize;
+        for evidence in &self.evidences {
+            if evidence.contains(mapping) {
+                remap.push(None);
+            } else {
+                remap.push(Some(kept));
+                kept += 1;
+            }
+        }
+        let removed = self.evidences.len() - kept;
+        if removed == 0 {
+            return AnalysisDelta {
+                evidences_added: 0,
+                evidences_removed: 0,
+                evidences_reobserved: 0,
+                evidences_reused: kept,
+            };
+        }
+        self.evidences.retain(|e| remap[e.id].is_some());
+        for evidence in &mut self.evidences {
+            evidence.id = remap[evidence.id].expect("retained evidence has a slot");
+        }
+        self.observations.retain(|o| remap[o.evidence].is_some());
+        for observation in &mut self.observations {
+            observation.evidence = remap[observation.evidence].expect("retained observation");
+        }
+        AnalysisDelta {
+            evidences_added: 0,
+            evidences_removed: removed,
+            evidences_reobserved: 0,
+            evidences_reused: kept,
+        }
+    }
+
+    /// Recomputes the observations of every evidence path through a mapping whose
+    /// correspondences changed (corruption, repair, or a dropped correspondence). The
+    /// evidence structure itself is untouched: correspondence edits do not change the
+    /// network topology.
+    pub fn reobserve_mapping(&mut self, catalog: &Catalog, mapping: MappingId) -> AnalysisDelta {
+        self.reobserve_mappings(catalog, std::slice::from_ref(&mapping))
+    }
+
+    /// Batch form of [`CycleAnalysis::reobserve_mapping`]: an evidence path through
+    /// several changed mappings is re-observed exactly once.
+    pub fn reobserve_mappings(
+        &mut self,
+        catalog: &Catalog,
+        mappings: &[MappingId],
+    ) -> AnalysisDelta {
+        let affected: Vec<usize> = self
+            .evidences
+            .iter()
+            .filter(|e| mappings.iter().any(|m| e.contains(*m)))
+            .map(|e| e.id)
+            .collect();
+        if affected.is_empty() {
+            return AnalysisDelta {
+                evidences_added: 0,
+                evidences_removed: 0,
+                evidences_reobserved: 0,
+                evidences_reused: self.evidences.len(),
+            };
+        }
+        let affected_set: std::collections::BTreeSet<usize> = affected.iter().copied().collect();
+        self.observations
+            .retain(|o| !affected_set.contains(&o.evidence));
+        for &id in &affected {
+            let fresh = observe(catalog, &self.evidences[id]);
+            self.observations.extend(fresh);
+        }
+        AnalysisDelta {
+            evidences_added: 0,
+            evidences_removed: 0,
+            evidences_reobserved: affected.len(),
+            evidences_reused: self.evidences.len() - affected.len(),
+        }
+    }
 }
 
-/// Builds the mapping-network topology of a catalog. Edge ids coincide with mapping ids.
+/// What one incremental analysis update did — the bookkeeping behind the session's
+/// maintenance statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisDelta {
+    /// Evidence paths newly discovered (through an added mapping).
+    pub evidences_added: usize,
+    /// Evidence paths dropped (through a removed mapping).
+    pub evidences_removed: usize,
+    /// Evidence paths whose observations were recomputed in place.
+    pub evidences_reobserved: usize,
+    /// Evidence paths left completely untouched.
+    pub evidences_reused: usize,
+}
+
+impl AnalysisDelta {
+    /// Merges the added/removed/re-observed counters of two consecutive updates.
+    ///
+    /// `evidences_reused` is deliberately left untouched: each update measures it
+    /// against a different evidence total, so no pairwise combination of the two
+    /// values is meaningful. Callers merging deltas across a batch must recount the
+    /// untouched evidence at the end (as [`crate::session::EngineSession::apply`]
+    /// does).
+    pub fn merge(&mut self, other: AnalysisDelta) {
+        self.evidences_added += other.evidences_added;
+        self.evidences_removed += other.evidences_removed;
+        self.evidences_reobserved += other.evidences_reobserved;
+    }
+}
+
+/// Builds the mapping-network topology of a catalog. Edge ids coincide with mapping
+/// ids: every mapping slot becomes an edge, and tombstoned (removed) mappings become
+/// tombstoned edges, so the alignment survives network evolution.
 pub fn build_topology(catalog: &Catalog) -> DiGraph {
     let mut graph = DiGraph::with_nodes(catalog.peer_count());
-    for (mapping, source, target) in catalog.edge_list() {
+    for slot in 0..catalog.mapping_slot_count() {
+        let mapping = MappingId(slot);
+        let (source, target) = catalog.mapping_endpoints(mapping);
         let edge = graph.add_edge(NodeId(source.0), NodeId(target.0));
         debug_assert_eq!(edge.0, mapping.0, "edge ids must mirror mapping ids");
+        if catalog.is_mapping_removed(mapping) {
+            graph.remove_edge(edge);
+        }
     }
     graph
 }
@@ -210,7 +386,11 @@ fn push_through(
     (steps, Some(current))
 }
 
-fn observe_cycle(catalog: &Catalog, evidence: &EvidencePath, origin: PeerId) -> Vec<FeedbackObservation> {
+fn observe_cycle(
+    catalog: &Catalog,
+    evidence: &EvidencePath,
+    origin: PeerId,
+) -> Vec<FeedbackObservation> {
     let schema = catalog.peer_schema(origin);
     let mut out = Vec::with_capacity(schema.attribute_count());
     for attr in schema.attributes() {
@@ -232,7 +412,11 @@ fn observe_cycle(catalog: &Catalog, evidence: &EvidencePath, origin: PeerId) -> 
     out
 }
 
-fn observe_parallel(catalog: &Catalog, evidence: &EvidencePath, source: PeerId) -> Vec<FeedbackObservation> {
+fn observe_parallel(
+    catalog: &Catalog,
+    evidence: &EvidencePath,
+    source: PeerId,
+) -> Vec<FeedbackObservation> {
     let split = evidence.split.expect("parallel evidence has a split point");
     let (left, right) = evidence.mappings.split_at(split);
     let schema = catalog.peer_schema(source);
@@ -251,7 +435,9 @@ fn observe_parallel(catalog: &Catalog, evidence: &EvidencePath, source: PeerId) 
         // early; recompute it precisely.
         let dropped_by = if feedback == Feedback::Neutral {
             if left_result.is_none() {
-                left.get(steps.len().min(left.len()).saturating_sub(1)).copied().or(dropped_by)
+                left.get(steps.len().min(left.len()).saturating_sub(1))
+                    .copied()
+                    .or(dropped_by)
             } else {
                 dropped_by
             }
@@ -396,7 +582,9 @@ mod tests {
             .collect();
         // p0 -> p1 -> p3 and p0 -> p2 -> p3, all correct for alpha.
         for (a, b) in [(0, 1), (1, 3), (0, 2), (2, 3)] {
-            cat.add_mapping(peers[a], peers[b], |m| m.correct(AttributeId(0), AttributeId(0)));
+            cat.add_mapping(peers[a], peers[b], |m| {
+                m.correct(AttributeId(0), AttributeId(0))
+            });
         }
         let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
         let parallel: Vec<&EvidencePath> = analysis
@@ -414,8 +602,18 @@ mod tests {
             .filter(|o| o.evidence == parallel[0].id)
             .collect();
         assert_eq!(obs.len(), 3);
-        assert_eq!(obs.iter().filter(|o| o.feedback == Feedback::Positive).count(), 1);
-        assert_eq!(obs.iter().filter(|o| o.feedback == Feedback::Neutral).count(), 2);
+        assert_eq!(
+            obs.iter()
+                .filter(|o| o.feedback == Feedback::Positive)
+                .count(),
+            1
+        );
+        assert_eq!(
+            obs.iter()
+                .filter(|o| o.feedback == Feedback::Neutral)
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -429,7 +627,9 @@ mod tests {
             })
             .collect();
         // Two direct mappings p0 -> p1 that disagree on alpha, plus nothing else.
-        cat.add_mapping(peers[0], peers[1], |m| m.correct(AttributeId(0), AttributeId(0)));
+        cat.add_mapping(peers[0], peers[1], |m| {
+            m.correct(AttributeId(0), AttributeId(0))
+        });
         cat.add_mapping(peers[0], peers[1], |m| {
             m.erroneous(AttributeId(0), AttributeId(1), AttributeId(0))
         });

@@ -32,6 +32,21 @@ pub fn estimate_delta_for_sizes(sizes: &[usize]) -> f64 {
     sizes.iter().map(|s| estimate_delta(*s)).sum::<f64>() / sizes.len() as f64
 }
 
+/// Estimates Δ from the schema sizes of every peer of a catalog ([`DEFAULT_DELTA`]
+/// for an empty catalog) — the shared fallback of the batch engine and the session
+/// when no explicit Δ is configured.
+pub fn estimate_delta_for_catalog(catalog: &pdms_schema::Catalog) -> f64 {
+    let sizes: Vec<usize> = catalog
+        .peers()
+        .map(|p| catalog.peer_schema(p).attribute_count())
+        .collect();
+    if sizes.is_empty() {
+        DEFAULT_DELTA
+    } else {
+        estimate_delta_for_sizes(&sizes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,14 @@ use pdms_schema::{AttributeId, Catalog, MappingId, PeerId};
 /// One change applied to the mapping network between two epochs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetworkEvent {
+    /// A new peer joins the network with its own schema. The peer is isolated until
+    /// mappings to or from it are declared.
+    AddPeer {
+        /// Name of the new peer (also used as its schema name).
+        name: String,
+        /// Attribute names of the peer's schema.
+        attributes: Vec<String>,
+    },
     /// A new mapping is declared between two existing peers. Each correspondence is
     /// `(source attribute, proposed target, ground-truth target if known)`.
     AddMapping {
@@ -32,6 +40,12 @@ pub enum NetworkEvent {
         target: PeerId,
         /// The attribute correspondences of the new mapping.
         correspondences: Vec<(AttributeId, AttributeId, Option<AttributeId>)>,
+    },
+    /// A mapping is withdrawn entirely (peer departure or administrative removal).
+    /// The id slot is tombstoned so other identifiers stay stable.
+    RemoveMapping {
+        /// The mapping to remove.
+        mapping: MappingId,
     },
     /// An existing correspondence is corrupted: the attribute is re-routed to a wrong
     /// target (the previous ground truth is preserved so the corruption is detectable).
@@ -58,6 +72,133 @@ pub enum NetworkEvent {
         /// The source attribute dropped.
         attribute: AttributeId,
     },
+}
+
+/// What applying one [`NetworkEvent`] to a catalog actually changed — the signal the
+/// incremental session uses to invalidate only the affected evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventEffect {
+    /// A peer (and its schema) was added; no evidence is affected until mappings
+    /// arrive.
+    PeerAdded(PeerId),
+    /// A mapping was added: new evidence paths may run through its edge.
+    MappingAdded(MappingId),
+    /// A mapping was removed: every evidence path through it is gone.
+    MappingRemoved(MappingId),
+    /// A mapping's correspondences changed: evidence structure is intact but the
+    /// observations through the mapping must be recomputed.
+    MappingChanged(MappingId),
+}
+
+impl EventEffect {
+    /// The mapping the effect concerns, if any.
+    pub fn mapping(&self) -> Option<MappingId> {
+        match self {
+            EventEffect::PeerAdded(_) => None,
+            EventEffect::MappingAdded(m)
+            | EventEffect::MappingRemoved(m)
+            | EventEffect::MappingChanged(m) => Some(*m),
+        }
+    }
+}
+
+/// Applies one event to a catalog, reporting what changed. Returns `None` when the
+/// event had no effect (repair without ground truth, drop of a missing
+/// correspondence, removal of an already-removed mapping, empty new mapping).
+///
+/// This is the single source of truth for event semantics, shared by the epoch-based
+/// [`DynamicPdms`] and the incremental [`crate::session::EngineSession`].
+pub fn apply_event(catalog: &mut Catalog, event: &NetworkEvent) -> Option<EventEffect> {
+    match event {
+        NetworkEvent::AddPeer { name, attributes } => {
+            let peer = catalog.add_peer_with_schema(name.clone(), |schema| {
+                for attribute in attributes {
+                    schema.attribute(attribute.clone());
+                }
+            });
+            Some(EventEffect::PeerAdded(peer))
+        }
+        NetworkEvent::AddMapping {
+            source,
+            target,
+            correspondences,
+        } => {
+            if correspondences.is_empty() {
+                return None;
+            }
+            let correspondences = correspondences.clone();
+            let id = catalog.add_mapping(*source, *target, |mut m| {
+                for (source_attr, target_attr, expected) in &correspondences {
+                    m = match expected {
+                        Some(expected) if expected == target_attr => {
+                            m.correct(*source_attr, *target_attr)
+                        }
+                        Some(expected) => m.erroneous(*source_attr, *target_attr, *expected),
+                        None => m.unjudged(*source_attr, *target_attr),
+                    };
+                }
+                m
+            });
+            Some(EventEffect::MappingAdded(id))
+        }
+        NetworkEvent::RemoveMapping { mapping } => catalog
+            .remove_mapping(*mapping)
+            .then_some(EventEffect::MappingRemoved(*mapping)),
+        NetworkEvent::Corrupt {
+            mapping,
+            attribute,
+            wrong_target,
+        } => {
+            if catalog.is_mapping_removed(*mapping) {
+                return None;
+            }
+            let current = catalog
+                .mapping(*mapping)
+                .correspondences()
+                .find(|(a, _)| a == attribute)
+                .map(|(_, c)| *c);
+            let expected = match current {
+                Some(c) => c.expected.or(Some(c.target)),
+                // Corrupting a correspondence that does not exist yet: the ground
+                // truth is unknown, record the proposal as wrong against nothing.
+                None => None,
+            };
+            catalog
+                .mapping_mut(*mapping)
+                .set_correspondence(*attribute, *wrong_target, expected);
+            Some(EventEffect::MappingChanged(*mapping))
+        }
+        NetworkEvent::Repair { mapping, attribute } => {
+            if catalog.is_mapping_removed(*mapping) {
+                return None;
+            }
+            let expected = catalog
+                .mapping(*mapping)
+                .correspondences()
+                .find(|(a, _)| a == attribute)
+                .and_then(|(_, c)| c.expected);
+            match expected {
+                Some(expected) => {
+                    catalog.mapping_mut(*mapping).set_correspondence(
+                        *attribute,
+                        expected,
+                        Some(expected),
+                    );
+                    Some(EventEffect::MappingChanged(*mapping))
+                }
+                None => None,
+            }
+        }
+        NetworkEvent::Drop { mapping, attribute } => {
+            if catalog.is_mapping_removed(*mapping) {
+                return None;
+            }
+            catalog
+                .mapping_mut(*mapping)
+                .remove_correspondence(*attribute)
+                .then_some(EventEffect::MappingChanged(*mapping))
+        }
+    }
 }
 
 /// Configuration of a dynamic run.
@@ -161,69 +302,7 @@ impl DynamicPdms {
     }
 
     fn apply_one(&mut self, event: &NetworkEvent) -> bool {
-        match event {
-            NetworkEvent::AddMapping {
-                source,
-                target,
-                correspondences,
-            } => {
-                if correspondences.is_empty() {
-                    return false;
-                }
-                let correspondences = correspondences.clone();
-                self.catalog.add_mapping(*source, *target, |mut m| {
-                    for (source_attr, target_attr, expected) in &correspondences {
-                        m = match expected {
-                            Some(expected) if expected == target_attr => {
-                                m.correct(*source_attr, *target_attr)
-                            }
-                            Some(expected) => m.erroneous(*source_attr, *target_attr, *expected),
-                            None => m.unjudged(*source_attr, *target_attr),
-                        };
-                    }
-                    m
-                });
-                true
-            }
-            NetworkEvent::Corrupt {
-                mapping,
-                attribute,
-                wrong_target,
-            } => {
-                let current = self.catalog.mapping(*mapping).correspondences().find(|(a, _)| a == attribute).map(|(_, c)| *c);
-                let expected = match current {
-                    Some(c) => c.expected.or(Some(c.target)),
-                    // Corrupting a correspondence that does not exist yet: the ground
-                    // truth is unknown, record the proposal as wrong against nothing.
-                    None => None,
-                };
-                self.catalog
-                    .mapping_mut(*mapping)
-                    .set_correspondence(*attribute, *wrong_target, expected);
-                true
-            }
-            NetworkEvent::Repair { mapping, attribute } => {
-                let expected = self
-                    .catalog
-                    .mapping(*mapping)
-                    .correspondences()
-                    .find(|(a, _)| a == attribute)
-                    .and_then(|(_, c)| c.expected);
-                match expected {
-                    Some(expected) => {
-                        self.catalog
-                            .mapping_mut(*mapping)
-                            .set_correspondence(*attribute, expected, Some(expected));
-                        true
-                    }
-                    None => false,
-                }
-            }
-            NetworkEvent::Drop { mapping, attribute } => self
-                .catalog
-                .mapping_mut(*mapping)
-                .remove_correspondence(*attribute),
-        }
+        apply_event(&mut self.catalog, event).is_some()
     }
 
     /// Runs one inference epoch over the current catalog: cycle analysis, inference with
@@ -297,8 +376,17 @@ mod tests {
             .map(|i| {
                 cat.add_peer_with_schema(format!("p{i}"), |s| {
                     s.attributes([
-                        "Creator", "Item", "CreatedOn", "Title", "Subject", "Medium", "Height",
-                        "Width", "Location", "Owner", "Licence",
+                        "Creator",
+                        "Item",
+                        "CreatedOn",
+                        "Title",
+                        "Subject",
+                        "Medium",
+                        "Height",
+                        "Width",
+                        "Location",
+                        "Owner",
+                        "Licence",
                     ]);
                 })
             })
@@ -347,7 +435,11 @@ mod tests {
         assert_eq!(corrupted.erroneous_mappings, 1);
         assert_eq!(corrupted.evaluation.true_positives, 1);
         assert_eq!(corrupted.evaluation.false_positives, 0);
-        assert!(corrupted.posterior_drift > 0.1, "drift {}", corrupted.posterior_drift);
+        assert!(
+            corrupted.posterior_drift > 0.1,
+            "drift {}",
+            corrupted.posterior_drift
+        );
 
         // Repair it; the error disappears from the ground truth and the posterior
         // recovers (the prior keeps some memory of the accusation, so recovery is
@@ -389,8 +481,12 @@ mod tests {
             mapping: MappingId(0),
             attribute: AttributeId(5),
         };
-        assert_eq!(pdms.apply(&[drop.clone()]), 1);
-        assert_eq!(pdms.apply(&[drop]), 0, "second drop finds nothing to remove");
+        assert_eq!(pdms.apply(std::slice::from_ref(&drop)), 1);
+        assert_eq!(
+            pdms.apply(&[drop]),
+            0,
+            "second drop finds nothing to remove"
+        );
         assert_eq!(
             pdms.catalog().mapping(MappingId(0)).apply(AttributeId(5)),
             None
@@ -443,7 +539,10 @@ mod tests {
             attribute: Some(AttributeId(0)),
         };
         let prior_after_accusation = pdms.priors().prior(&key);
-        assert!(prior_after_accusation < 0.5, "prior {prior_after_accusation}");
+        assert!(
+            prior_after_accusation < 0.5,
+            "prior {prior_after_accusation}"
+        );
 
         pdms.apply(&[NetworkEvent::Repair {
             mapping: MappingId(4),
@@ -475,6 +574,77 @@ mod tests {
         );
         ablation.run_epoch();
         assert_eq!(ablation.priors().prior(&key), 0.5);
+    }
+
+    #[test]
+    fn peers_join_and_mappings_retire_between_epochs() {
+        let mut pdms = DynamicPdms::new(clean_catalog(), DynamicsConfig::default());
+        let before = pdms.run_epoch().clone();
+
+        // A peer joins and a ring mapping is withdrawn.
+        let applied = pdms.apply(&[
+            NetworkEvent::AddPeer {
+                name: "p4".into(),
+                attributes: vec!["Creator".into(), "Item".into()],
+            },
+            NetworkEvent::RemoveMapping {
+                mapping: MappingId(4),
+            },
+        ]);
+        assert_eq!(applied, 2);
+        let after = pdms.run_epoch().clone();
+        assert_eq!(pdms.catalog().peer_count(), 5);
+        assert_eq!(after.mappings, before.mappings - 1);
+        assert!(after.evidence_paths < before.evidence_paths);
+        // Removing an already-removed mapping is a no-op.
+        assert_eq!(
+            pdms.apply(&[NetworkEvent::RemoveMapping {
+                mapping: MappingId(4),
+            }]),
+            0
+        );
+        // Correspondence events against the tombstoned mapping are ignored too.
+        assert_eq!(
+            pdms.apply(&[NetworkEvent::Corrupt {
+                mapping: MappingId(4),
+                attribute: AttributeId(0),
+                wrong_target: AttributeId(1),
+            }]),
+            0
+        );
+    }
+
+    #[test]
+    fn event_effects_name_what_changed() {
+        let mut catalog = clean_catalog();
+        let effect = apply_event(
+            &mut catalog,
+            &NetworkEvent::AddPeer {
+                name: "new".into(),
+                attributes: vec!["a".into()],
+            },
+        );
+        assert_eq!(effect, Some(EventEffect::PeerAdded(PeerId(4))));
+        assert_eq!(effect.unwrap().mapping(), None);
+
+        let effect = apply_event(
+            &mut catalog,
+            &NetworkEvent::Corrupt {
+                mapping: MappingId(0),
+                attribute: AttributeId(0),
+                wrong_target: AttributeId(1),
+            },
+        );
+        assert_eq!(effect, Some(EventEffect::MappingChanged(MappingId(0))));
+        assert_eq!(effect.unwrap().mapping(), Some(MappingId(0)));
+
+        let effect = apply_event(
+            &mut catalog,
+            &NetworkEvent::RemoveMapping {
+                mapping: MappingId(0),
+            },
+        );
+        assert_eq!(effect, Some(EventEffect::MappingRemoved(MappingId(0))));
     }
 
     #[test]

@@ -102,6 +102,22 @@ pub struct EmbeddedMessagePassing<'m> {
     /// `factor_to_var[e][k]`: the locally computed message from the replica of factor
     /// `e` to its variable at position `k`.
     factor_to_var: Vec<Vec<Belief>>,
+    /// `evidences_of_var[v]`: every `(evidence, position)` where variable `v` appears
+    /// (precomputed; the per-round loops and the posterior reads are on the hot path).
+    evidences_of_var: Vec<Vec<(usize, usize)>>,
+    /// `stale_factor[e][k]`: an input of the factor replica changed, so
+    /// `factor_to_var[e][k]` must be recomputed next round. Change-driven
+    /// recomputation keeps the per-round cost proportional to the part of the model
+    /// still moving: converged regions (and warm-started regions under incremental
+    /// updates) cost nothing.
+    stale_factor: Vec<Vec<bool>>,
+    /// `var_active[v]`: some factor→variable message into `v` changed last phase, so
+    /// `v`'s outgoing remote messages must be recomputed (otherwise the cached value
+    /// is provably identical).
+    var_active: Vec<bool>,
+    /// `last_remote[e][j]`: cached remote message `µ_{vars[j]→e}` from the previous
+    /// round.
+    last_remote: Vec<Vec<Belief>>,
     config: EmbeddedConfig,
     rng: StdRng,
     messages_delivered: u64,
@@ -124,22 +140,43 @@ impl<'m> EmbeddedMessagePassing<'m> {
             .iter()
             .map(|key| Belief::from_probability(priors.get(key).copied().unwrap_or(default_prior)))
             .collect();
-        let incoming = model
+        let incoming: Vec<Vec<Vec<Belief>>> = model
             .evidences
             .iter()
             .map(|e| vec![vec![Belief::unit(); e.variables.len()]; e.variables.len()])
             .collect();
-        let factor_to_var = model
+        let factor_to_var: Vec<Vec<Belief>> = model
             .evidences
             .iter()
             .map(|e| vec![Belief::unit(); e.variables.len()])
             .collect();
+        let mut evidences_of_var = vec![Vec::new(); model.variable_count()];
+        for (e_idx, evidence) in model.evidences.iter().enumerate() {
+            for (position, &variable) in evidence.variables.iter().enumerate() {
+                evidences_of_var[variable].push((e_idx, position));
+            }
+        }
+        let stale_factor = model
+            .evidences
+            .iter()
+            .map(|e| vec![true; e.variables.len()])
+            .collect();
+        let last_remote = model
+            .evidences
+            .iter()
+            .map(|e| vec![Belief::unit(); e.variables.len()])
+            .collect();
+        let var_active = vec![true; model.variable_count()];
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
             model,
             priors: prior_beliefs,
             incoming,
             factor_to_var,
+            evidences_of_var,
+            stale_factor,
+            var_active,
+            last_remote,
             config,
             rng,
             messages_delivered: 0,
@@ -147,11 +184,35 @@ impl<'m> EmbeddedMessagePassing<'m> {
         }
     }
 
+    /// Seeds the message state from the posteriors of a previous run (keyed by
+    /// variable, so the previous model may differ structurally — only variables that
+    /// still exist contribute).
+    ///
+    /// Every remote message about a surviving variable starts at the variable's last
+    /// known posterior belief instead of the unit message. This is a pure
+    /// initialization: the fixpoint of the iteration is unchanged (the same update
+    /// equations are applied), but on a model that changed only locally most messages
+    /// start where they previously converged, so far fewer rounds are needed — the
+    /// warm-start half of incremental session maintenance.
+    pub fn warm_start(&mut self, previous: &BTreeMap<VariableKey, f64>) {
+        for (e_idx, evidence) in self.model.evidences.iter().enumerate() {
+            for (j, &var_j) in evidence.variables.iter().enumerate() {
+                let Some(&p) = previous.get(&self.model.variables[var_j]) else {
+                    continue;
+                };
+                let message = Belief::from_probability(p.clamp(0.0, 1.0)).normalized();
+                for k in 0..evidence.variables.len() {
+                    self.incoming[e_idx][k][j] = message;
+                    self.stale_factor[e_idx][k] = true;
+                }
+            }
+        }
+    }
+
     /// Posterior `P(correct)` of one model variable, from the owner's perspective.
     pub fn posterior(&self, variable: usize) -> f64 {
         let mut belief = self.priors[variable];
-        for e in self.model.evidences_of(variable) {
-            let pos = self.position(e, variable);
+        for &(e, pos) in &self.evidences_of_var[variable] {
             belief *= self.factor_to_var[e][pos];
         }
         belief.probability_correct()
@@ -159,69 +220,99 @@ impl<'m> EmbeddedMessagePassing<'m> {
 
     /// Posteriors of all variables.
     pub fn posteriors(&self) -> Vec<f64> {
-        (0..self.model.variable_count()).map(|v| self.posterior(v)).collect()
-    }
-
-    fn position(&self, evidence: usize, variable: usize) -> usize {
-        self.model.evidences[evidence]
-            .variables
-            .iter()
-            .position(|&v| v == variable)
-            .expect("variable must appear in its evidence")
+        (0..self.model.variable_count())
+            .map(|v| self.posterior(v))
+            .collect()
     }
 
     /// The remote message `µ_{p→fa_e}(variable)`: the owner's current belief about its
     /// variable excluding what factor `e` itself contributed.
     fn remote_message(&self, variable: usize, excluding_evidence: usize) -> Belief {
         let mut belief = self.priors[variable];
-        for e in self.model.evidences_of(variable) {
+        for &(e, pos) in &self.evidences_of_var[variable] {
             if e == excluding_evidence {
                 continue;
             }
-            let pos = self.position(e, variable);
             belief *= self.factor_to_var[e][pos];
         }
         belief.normalized()
     }
 
     /// Runs one round of the periodic schedule. Returns the largest posterior change.
+    ///
+    /// Message recomputation is change-driven: a factor replica only re-evaluates a
+    /// message when one of its inputs actually changed, and a variable only
+    /// recomputes its outgoing remote messages when some factor message into it
+    /// changed. Both are pure caching — unchanged inputs provably reproduce the
+    /// previous output — so the numbers (and the loss-model RNG stream) are
+    /// bit-identical to the naive schedule, but the per-round cost shrinks to the
+    /// part of the model still in motion: converged and warm-started regions are
+    /// free.
     pub fn round(&mut self) -> f64 {
         let before = self.posteriors();
         // Phase 1: every owner recomputes the local factor→variable messages of its
-        // replicas, using the remote messages it has received so far.
+        // replicas whose received inputs changed.
+        let mut var_activated = vec![false; self.model.variable_count()];
         for (e_idx, evidence) in self.model.evidences.iter().enumerate() {
             let sign = FeedbackSign::from_positive(evidence.positive);
             for k in 0..evidence.variables.len() {
+                if !self.stale_factor[e_idx][k] {
+                    continue;
+                }
+                self.stale_factor[e_idx][k] = false;
                 // The replica held by the owner of position k: incoming messages for
                 // the other positions are whatever that owner has received; its own
                 // position's entry is its current local belief (it owns the variable).
                 let mut inputs = self.incoming[e_idx][k].clone();
                 inputs[k] = Belief::unit(); // ignored by message computation
-                self.factor_to_var[e_idx][k] =
-                    feedback_message(sign, evidence.delta, k, &inputs).normalized();
+                let message = feedback_message(sign, evidence.delta, k, &inputs).normalized();
+                if message != self.factor_to_var[e_idx][k] {
+                    self.factor_to_var[e_idx][k] = message;
+                    var_activated[evidence.variables[k]] = true;
+                }
+            }
+        }
+        for (variable, activated) in var_activated.into_iter().enumerate() {
+            if activated {
+                self.var_active[variable] = true;
             }
         }
         // Phase 2: every owner sends its remote messages; each individual message may
         // be lost, in which case the recipient keeps the stale value.
         for (e_idx, evidence) in self.model.evidences.iter().enumerate() {
             for (j, &var_j) in evidence.variables.iter().enumerate() {
-                let message = self.remote_message(var_j, e_idx);
+                let message = if self.var_active[var_j] {
+                    let message = self.remote_message(var_j, e_idx);
+                    self.last_remote[e_idx][j] = message;
+                    message
+                } else {
+                    self.last_remote[e_idx][j]
+                };
                 for k in 0..evidence.variables.len() {
                     if k == j {
-                        // The owner always knows its own variable's message.
+                        // The owner always knows its own variable's message (only the
+                        // other positions' entries feed its replica's computation).
                         self.incoming[e_idx][k][j] = message;
                         continue;
                     }
                     let delivered = self.config.send_probability >= 1.0
-                        || self.rng.gen_bool(self.config.send_probability.clamp(0.0, 1.0));
+                        || self
+                            .rng
+                            .gen_bool(self.config.send_probability.clamp(0.0, 1.0));
                     if delivered {
-                        self.incoming[e_idx][k][j] = message;
+                        if self.incoming[e_idx][k][j] != message {
+                            self.incoming[e_idx][k][j] = message;
+                            self.stale_factor[e_idx][k] = true;
+                        }
                         self.messages_delivered += 1;
                     } else {
                         self.messages_dropped += 1;
                     }
                 }
             }
+        }
+        for active in &mut self.var_active {
+            *active = false;
         }
         let after = self.posteriors();
         before
@@ -436,7 +527,12 @@ mod tests {
             },
         );
         assert!(reliable.converged && lossy.converged);
-        assert!(lossy.rounds >= reliable.rounds, "{} < {}", lossy.rounds, reliable.rounds);
+        assert!(
+            lossy.rounds >= reliable.rounds,
+            "{} < {}",
+            lossy.rounds,
+            reliable.rounds
+        );
         assert!(lossy.messages_dropped > 0);
         for i in 0..model.variable_count() {
             assert!(
@@ -455,13 +551,12 @@ mod tests {
         let report = run_embedded(&model, &BTreeMap::new(), 0.7, EmbeddedConfig::default());
         assert_eq!(report.history.len(), report.rounds + 1);
         assert_eq!(report.messages_dropped, 0);
-        let per_round = EmbeddedMessagePassing::new(
-            &model,
-            &BTreeMap::new(),
-            0.7,
-            EmbeddedConfig::default(),
-        )
-        .messages_per_round();
-        assert_eq!(report.messages_delivered, (per_round * report.rounds) as u64);
+        let per_round =
+            EmbeddedMessagePassing::new(&model, &BTreeMap::new(), 0.7, EmbeddedConfig::default())
+                .messages_per_round();
+        assert_eq!(
+            report.messages_delivered,
+            (per_round * report.rounds) as u64
+        );
     }
 }

@@ -1,5 +1,12 @@
-//! The engine: one façade tying analysis, model construction, inference, prior updates,
-//! routing and evaluation together.
+//! The batch engine façade: analysis, model construction, inference, prior updates,
+//! routing and evaluation in one call.
+//!
+//! [`Engine`] is the one-shot entry point — it recomputes everything from scratch on
+//! every [`Engine::run`]. For evolving networks and query-heavy workloads prefer the
+//! incremental [`crate::session::EngineSession`], constructed with
+//! [`Engine::builder`]; the batch engine remains for single-shot experiments and as
+//! the reference the incremental path is validated against. Both drive inference
+//! exclusively through the [`crate::backend::InferenceBackend`] trait.
 //!
 //! ```
 //! use pdms_core::engine::{Engine, EngineConfig};
@@ -19,19 +26,25 @@
 //! assert!(report.posteriors.mapping_probability(pdms_schema::MappingId(0)) < 0.5);
 //! ```
 
-use crate::baseline_exact::exact_posteriors;
-use crate::baseline_voting::VotingBaseline;
+use crate::backend::{backend_for_method, InferenceBackend, InferenceTask};
 use crate::cycle_analysis::{AnalysisConfig, CycleAnalysis};
-use crate::delta::{estimate_delta_for_sizes, DEFAULT_DELTA};
-use crate::embedded::{run_embedded, EmbeddedConfig, EmbeddedReport};
+use crate::delta::estimate_delta_for_catalog;
+use crate::embedded::EmbeddedConfig;
 use crate::local_graph::{Granularity, MappingModel};
 use crate::metrics::{precision_recall, EvaluationReport};
 use crate::posterior::PosteriorTable;
 use crate::priors::PriorStore;
 use crate::routing::{route_query, RoutingOutcome, RoutingPolicy};
+use crate::session::EngineBuilder;
 use pdms_schema::{Catalog, PeerId, Query};
+use std::sync::Arc;
 
-/// Which inference backend the engine uses.
+/// Which built-in inference backend the engine uses.
+///
+/// Deprecated shim: new code should pass an [`InferenceBackend`] implementation to
+/// [`EngineBuilder::backend`] (or [`EngineConfig::backend`]) instead — the enum only
+/// names the three built-ins and cannot express custom backends. It is kept so
+/// existing `EngineConfig { method, .. }` call sites continue to compile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InferenceMethod {
     /// Decentralized embedded message passing (the paper's approach).
@@ -53,10 +66,24 @@ pub struct EngineConfig {
     /// Compensating-error probability; `None` estimates it from the catalog's schema
     /// sizes (Section 4.5's `1/(k−1)` rule).
     pub delta: Option<f64>,
-    /// Inference backend.
+    /// Deprecated backend selector, used only when [`EngineConfig::backend`] is
+    /// `None`. Prefer setting `backend`.
     pub method: InferenceMethod,
-    /// Embedded message-passing parameters (ignored by the other backends).
+    /// Embedded message-passing parameters (consumed by the default
+    /// [`crate::backend::EmbeddedBackend`]; ignored when `backend` is set).
     pub embedded: EmbeddedConfig,
+    /// The inference backend. `None` falls back to the built-in named by `method`.
+    pub backend: Option<Arc<dyn InferenceBackend>>,
+}
+
+impl EngineConfig {
+    /// The backend this configuration selects: the explicit trait object if set,
+    /// otherwise the built-in named by the deprecated `method` field.
+    pub fn resolve_backend(&self) -> Arc<dyn InferenceBackend> {
+        self.backend
+            .clone()
+            .unwrap_or_else(|| backend_for_method(self.method, &self.embedded))
+    }
 }
 
 /// What one engine run produces.
@@ -88,12 +115,41 @@ pub struct Engine {
 
 impl Engine {
     /// Creates an engine over a catalog with maximum-entropy priors.
+    ///
+    /// Deprecated-ish: this remains the batch entry point, but evolving networks and
+    /// query-heavy workloads should use [`Engine::builder`] to obtain an incremental
+    /// [`crate::session::EngineSession`] instead of re-running the full pipeline.
     pub fn new(catalog: Catalog, config: EngineConfig) -> Self {
         Self {
             catalog,
             config,
             priors: PriorStore::uninformed(),
         }
+    }
+
+    /// Starts a builder for an incremental [`crate::session::EngineSession`]:
+    ///
+    /// ```
+    /// use pdms_core::engine::Engine;
+    /// use pdms_core::backend::ExactBackend;
+    /// use pdms_core::local_graph::Granularity;
+    /// use pdms_schema::{AttributeId, Catalog};
+    ///
+    /// let mut catalog = Catalog::new();
+    /// let a = catalog.add_peer_with_schema("a", |s| { s.attributes(["x", "y", "z"]); });
+    /// let b = catalog.add_peer_with_schema("b", |s| { s.attributes(["x", "y", "z"]); });
+    /// catalog.add_mapping(a, b, |m| m.correct(AttributeId(0), AttributeId(0)));
+    /// catalog.add_mapping(b, a, |m| m.correct(AttributeId(0), AttributeId(0)));
+    ///
+    /// let session = Engine::builder()
+    ///     .granularity(Granularity::Fine)
+    ///     .backend(ExactBackend)
+    ///     .delta(0.1)
+    ///     .build(catalog);
+    /// assert!(session.posteriors().mapping_probability(pdms_schema::MappingId(0)) > 0.5);
+    /// ```
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
     }
 
     /// Creates an engine with a caller-provided prior store (e.g. default prior 0.7
@@ -123,18 +179,9 @@ impl Engine {
 
     /// Δ used by the engine: the configured value or the schema-size estimate.
     pub fn delta(&self) -> f64 {
-        self.config.delta.unwrap_or_else(|| {
-            let sizes: Vec<usize> = self
-                .catalog
-                .peers()
-                .map(|p| self.catalog.peer_schema(p).attribute_count())
-                .collect();
-            if sizes.is_empty() {
-                DEFAULT_DELTA
-            } else {
-                estimate_delta_for_sizes(&sizes)
-            }
-        })
+        self.config
+            .delta
+            .unwrap_or_else(|| estimate_delta_for_catalog(&self.catalog))
     }
 
     /// Runs cycle / parallel-path discovery only.
@@ -142,54 +189,30 @@ impl Engine {
         CycleAnalysis::analyze(&self.catalog, &self.config.analysis)
     }
 
-    /// Runs the full pipeline: analysis → model → inference → posterior table.
+    /// Runs the full pipeline: analysis → model → inference (through the configured
+    /// [`InferenceBackend`]) → posterior table.
     pub fn run(&mut self) -> EngineReport {
         let delta = self.delta();
         let analysis = self.analyze();
         let model = MappingModel::build(&self.catalog, &analysis, self.config.granularity, delta);
         let prior_map = self.priors.snapshot();
         let default_prior = self.priors.default_prior();
-        let (variable_posteriors, rounds, converged) = match self.config.method {
-            InferenceMethod::Embedded => {
-                let report: EmbeddedReport =
-                    run_embedded(&model, &prior_map, default_prior, self.config.embedded.clone());
-                (report.posteriors, report.rounds, report.converged)
-            }
-            InferenceMethod::Exact => {
-                let posteriors = exact_posteriors(&model, &prior_map, default_prior);
-                (posteriors, 0, true)
-            }
-            InferenceMethod::Voting => {
-                let baseline = VotingBaseline::from_analysis(&analysis);
-                let posteriors: Vec<f64> = model
-                    .variables
-                    .iter()
-                    .map(|key| match key.attribute {
-                        Some(attr) => baseline.score(key.mapping, attr),
-                        None => {
-                            // Coarse mode: worst score over the attributes voted on.
-                            let scores: Vec<f64> = baseline
-                                .disqualified(1.1)
-                                .iter()
-                                .filter(|(m, _)| *m == key.mapping)
-                                .map(|(m, a)| baseline.score(*m, *a))
-                                .collect();
-                            scores.into_iter().fold(f64::INFINITY, f64::min).min(1.0)
-                        }
-                    })
-                    .map(|p| if p.is_finite() { p } else { default_prior })
-                    .collect();
-                (posteriors, 0, true)
-            }
-        };
-        let posteriors = PosteriorTable::from_model(&model, &variable_posteriors, default_prior);
+        let backend = self.config.resolve_backend();
+        let outcome = backend.infer(&InferenceTask {
+            model: &model,
+            analysis: &analysis,
+            priors: &prior_map,
+            default_prior,
+            warm_start: None,
+        });
+        let posteriors = PosteriorTable::from_model(&model, &outcome.posteriors, default_prior);
         EngineReport {
             analysis,
             model,
             posteriors,
-            variable_posteriors,
-            rounds,
-            converged,
+            variable_posteriors: outcome.posteriors,
+            rounds: outcome.rounds,
+            converged: outcome.converged,
             delta,
         }
     }
@@ -232,8 +255,17 @@ mod tests {
                 cat.add_peer_with_schema(format!("p{}", i + 1), |s| {
                     // Eleven attributes, as in the worked example, so Δ ≈ 0.1.
                     s.attributes([
-                        "Creator", "Item", "CreatedOn", "Title", "Subject", "Medium", "Height",
-                        "Width", "Location", "Owner", "Licence",
+                        "Creator",
+                        "Item",
+                        "CreatedOn",
+                        "Title",
+                        "Subject",
+                        "Medium",
+                        "Height",
+                        "Width",
+                        "Location",
+                        "Owner",
+                        "Licence",
                     ]);
                 })
             })
@@ -394,9 +426,16 @@ mod tests {
         assert!(prior_after < 0.5, "prior after update {prior_after}");
         // A second run starting from the updated priors pushes the posterior further.
         let second = engine.run();
-        let p1 = first.posteriors.probability_ignoring_bottom(MappingId(4), AttributeId(0));
-        let p2 = second.posteriors.probability_ignoring_bottom(MappingId(4), AttributeId(0));
-        assert!(p2 <= p1 + 1e-9, "second run {p2} should not exceed first run {p1}");
+        let p1 = first
+            .posteriors
+            .probability_ignoring_bottom(MappingId(4), AttributeId(0));
+        let p2 = second
+            .posteriors
+            .probability_ignoring_bottom(MappingId(4), AttributeId(0));
+        assert!(
+            p2 <= p1 + 1e-9,
+            "second run {p2} should not exceed first run {p1}"
+        );
     }
 
     #[test]

@@ -99,8 +99,14 @@ mod tests {
     #[test]
     fn comparison_covers_all_cases() {
         let a = AttributeId(3);
-        assert_eq!(Feedback::from_comparison(a, Some(AttributeId(3))), Feedback::Positive);
-        assert_eq!(Feedback::from_comparison(a, Some(AttributeId(5))), Feedback::Negative);
+        assert_eq!(
+            Feedback::from_comparison(a, Some(AttributeId(3))),
+            Feedback::Positive
+        );
+        assert_eq!(
+            Feedback::from_comparison(a, Some(AttributeId(5))),
+            Feedback::Negative
+        );
         assert_eq!(Feedback::from_comparison(a, None), Feedback::Neutral);
     }
 

@@ -86,7 +86,12 @@ impl MappingModel {
     /// granularity (a factor over a single mapping would assert the mapping is correct
     /// or incorrect with certainty, which only happens for degenerate self-referential
     /// evidence).
-    pub fn build(catalog: &Catalog, analysis: &CycleAnalysis, granularity: Granularity, delta: f64) -> Self {
+    pub fn build(
+        catalog: &Catalog,
+        analysis: &CycleAnalysis,
+        granularity: Granularity,
+        delta: f64,
+    ) -> Self {
         let mut model = MappingModel::default();
         for observation in analysis.informative_observations() {
             let mut vars: Vec<usize> = Vec::with_capacity(observation.steps.len());
@@ -154,7 +159,9 @@ impl MappingModel {
 
     /// Variables owned by a peer.
     pub fn variables_of(&self, peer: PeerId) -> Vec<usize> {
-        (0..self.variables.len()).filter(|&i| self.owners[i] == peer).collect()
+        (0..self.variables.len())
+            .filter(|&i| self.owners[i] == peer)
+            .collect()
     }
 
     /// Evidence factors touching a variable.
@@ -219,7 +226,10 @@ impl MappingModel {
         let mut local_ids: HashMap<usize, pdms_factor::VariableId> = HashMap::new();
         for &idx in &self.variables_of(peer) {
             let v = graph.add_variable(self.variables[idx].name());
-            let p = priors.get(&self.variables[idx]).copied().unwrap_or(default_prior);
+            let p = priors
+                .get(&self.variables[idx])
+                .copied()
+                .unwrap_or(default_prior);
             graph.add_prior(v, p);
             local_ids.insert(idx, v);
         }
@@ -321,7 +331,10 @@ mod tests {
         let (_, model) = build_fine(&cat);
         let graph = model.global_factor_graph(&BTreeMap::new(), 0.6);
         assert_eq!(graph.variable_count(), model.variable_count());
-        assert_eq!(graph.factor_count(), model.variable_count() + model.evidence_count());
+        assert_eq!(
+            graph.factor_count(),
+            model.variable_count() + model.evidence_count()
+        );
         assert!(graph.uncovered_variables().is_empty());
     }
 
@@ -336,7 +349,9 @@ mod tests {
         let v = graph.variable_by_name(&key.name()).unwrap();
         // The first factor attached to a variable is its prior.
         let prior_factor = graph.factors_of(v)[0];
-        let belief = graph.factor(prior_factor).message_to(0, &[pdms_factor::Belief::unit()]);
+        let belief = graph
+            .factor(prior_factor)
+            .message_to(0, &[pdms_factor::Belief::unit()]);
         assert!((belief.probability_correct() - 0.95).abs() < 1e-12);
     }
 

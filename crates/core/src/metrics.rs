@@ -122,7 +122,11 @@ pub fn judge(
 
 /// Evaluates erroneous-mapping detection over every attribute correspondence declared
 /// in the catalog, at detection threshold `theta`.
-pub fn precision_recall(catalog: &Catalog, posteriors: &PosteriorTable, theta: f64) -> EvaluationReport {
+pub fn precision_recall(
+    catalog: &Catalog,
+    posteriors: &PosteriorTable,
+    theta: f64,
+) -> EvaluationReport {
     let mut report = EvaluationReport::default();
     for mapping_id in catalog.mappings() {
         let mapping = catalog.mapping(mapping_id);
@@ -149,11 +153,15 @@ mod tests {
         });
         // Mapping 0: x correct, y erroneous. Mapping 1: both correct.
         cat.add_mapping(p0, p1, |m| {
-            m.correct(AttributeId(0), AttributeId(0))
-                .erroneous(AttributeId(1), AttributeId(0), AttributeId(1))
+            m.correct(AttributeId(0), AttributeId(0)).erroneous(
+                AttributeId(1),
+                AttributeId(0),
+                AttributeId(1),
+            )
         });
         cat.add_mapping(p1, p0, |m| {
-            m.correct(AttributeId(0), AttributeId(0)).correct(AttributeId(1), AttributeId(1))
+            m.correct(AttributeId(0), AttributeId(0))
+                .correct(AttributeId(1), AttributeId(1))
         });
         cat
     }

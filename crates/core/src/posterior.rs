@@ -38,7 +38,11 @@ impl PosteriorTable {
     /// mapping — the conservative aggregation: a mapping is only as good as its worst
     /// attribute.
     pub fn from_model(model: &MappingModel, posteriors: &[f64], default: f64) -> Self {
-        assert_eq!(model.variable_count(), posteriors.len(), "posterior/variable mismatch");
+        assert_eq!(
+            model.variable_count(),
+            posteriors.len(),
+            "posterior/variable mismatch"
+        );
         let mut table = Self::new(default);
         for (key, p) in model.variables.iter().zip(posteriors) {
             match key.attribute {
@@ -77,7 +81,12 @@ impl PosteriorTable {
     /// Posterior that `mapping` preserves `attribute`, applying the `⊥` rule against
     /// the catalog: a mapping with no correspondence for the attribute has probability
     /// zero of preserving it.
-    pub fn probability(&self, catalog: &Catalog, mapping: MappingId, attribute: AttributeId) -> f64 {
+    pub fn probability(
+        &self,
+        catalog: &Catalog,
+        mapping: MappingId,
+        attribute: AttributeId,
+    ) -> f64 {
         if catalog.mapping(mapping).apply(attribute).is_none() {
             return 0.0;
         }
@@ -157,7 +166,8 @@ mod tests {
         // Mapping 0 covers only attribute 0; attribute 1 is ⊥.
         cat.add_mapping(p0, p1, |m| m.correct(AttributeId(0), AttributeId(0)));
         cat.add_mapping(p1, p0, |m| {
-            m.correct(AttributeId(0), AttributeId(0)).correct(AttributeId(1), AttributeId(1))
+            m.correct(AttributeId(0), AttributeId(0))
+                .correct(AttributeId(1), AttributeId(1))
         });
         cat
     }
@@ -175,8 +185,14 @@ mod tests {
         let mut table = PosteriorTable::new(0.5);
         table.set_coarse(MappingId(3), 0.9);
         table.set(MappingId(3), AttributeId(1), 0.2);
-        assert_eq!(table.probability_ignoring_bottom(MappingId(3), AttributeId(1)), 0.2);
-        assert_eq!(table.probability_ignoring_bottom(MappingId(3), AttributeId(7)), 0.2);
+        assert_eq!(
+            table.probability_ignoring_bottom(MappingId(3), AttributeId(1)),
+            0.2
+        );
+        assert_eq!(
+            table.probability_ignoring_bottom(MappingId(3), AttributeId(7)),
+            0.2
+        );
     }
 
     #[test]
@@ -207,7 +223,9 @@ mod tests {
         };
         let analysis = CycleAnalysis::analyze(&cat, &AnalysisConfig::default());
         let model = MappingModel::build(&cat, &analysis, Granularity::Fine, 0.1);
-        let posteriors: Vec<f64> = (0..model.variable_count()).map(|i| 0.6 + i as f64 * 0.1).collect();
+        let posteriors: Vec<f64> = (0..model.variable_count())
+            .map(|i| 0.6 + i as f64 * 0.1)
+            .collect();
         let table = PosteriorTable::from_model(&model, &posteriors, 0.5);
         assert_eq!(table.len(), model.variable_count());
         for (i, key) in model.variables.iter().enumerate() {
@@ -222,7 +240,10 @@ mod tests {
     fn unknown_mappings_fall_back_to_default() {
         let table = PosteriorTable::new(0.42);
         assert_eq!(table.mapping_probability(MappingId(99)), 0.42);
-        assert_eq!(table.probability_ignoring_bottom(MappingId(99), AttributeId(0)), 0.42);
+        assert_eq!(
+            table.probability_ignoring_bottom(MappingId(99), AttributeId(0)),
+            0.42
+        );
         assert!(table.is_empty());
         assert_eq!(table.default_probability(), 0.42);
     }

@@ -35,7 +35,10 @@ impl PriorStore {
     /// Creates a store with a caller-chosen default prior (e.g. 0.7 when mappings come
     /// from an aligner with a known accuracy).
     pub fn with_default(default: f64) -> Self {
-        assert!((0.0..=1.0).contains(&default), "prior {default} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&default),
+            "prior {default} outside [0, 1]"
+        );
         Self {
             default,
             priors: BTreeMap::new(),
@@ -71,7 +74,10 @@ impl PriorStore {
     /// average starting from a non-observation would anchor the prior at 0.5 forever);
     /// subsequent observations are averaged in with weight `1/k`.
     pub fn update(&mut self, key: VariableKey, posterior: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&posterior), "posterior {posterior} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&posterior),
+            "posterior {posterior} outside [0, 1]"
+        );
         let count = self.observations.entry(key).or_insert(0);
         let new = if *count == 0 && !self.priors.contains_key(&key) {
             posterior

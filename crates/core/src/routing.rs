@@ -37,7 +37,10 @@ impl RoutingPolicy {
 
     /// Threshold for one attribute.
     pub fn threshold(&self, attribute: AttributeId) -> f64 {
-        self.thresholds.get(&attribute).copied().unwrap_or(self.default_threshold)
+        self.thresholds
+            .get(&attribute)
+            .copied()
+            .unwrap_or(self.default_threshold)
     }
 }
 
@@ -96,7 +99,11 @@ impl RoutingOutcome {
 
 /// True when the chain of mappings used to reach a peer translated every query
 /// attribute onto its ground-truth counterpart at each step.
-fn chain_is_clean(catalog: &Catalog, chain: &[MappingId], attributes: &BTreeSet<AttributeId>) -> bool {
+fn chain_is_clean(
+    catalog: &Catalog,
+    chain: &[MappingId],
+    attributes: &BTreeSet<AttributeId>,
+) -> bool {
     for &attr in attributes {
         let mut current = attr;
         for &mid in chain {
@@ -263,7 +270,10 @@ mod tests {
             &creator_query(),
             &RoutingPolicy::uniform(0.5),
         );
-        assert!(outcome.forwarded_mappings().contains(&MappingId(4)) || outcome.forwarded_mappings().contains(&MappingId(1)));
+        assert!(
+            outcome.forwarded_mappings().contains(&MappingId(4))
+                || outcome.forwarded_mappings().contains(&MappingId(1))
+        );
         // p4 is reached via m24 (BFS explores m24 and m23 from p2 in insertion order:
         // m23 first, so p3 is reached via the clean path; p4 via m24 is tainted).
         assert!(!outcome.tainted.is_empty());
@@ -285,7 +295,10 @@ mod tests {
         assert!(outcome.reached.is_empty());
         assert_eq!(outcome.decisions.len(), 1);
         assert!(!outcome.decisions[0].forwarded);
-        assert_eq!(outcome.decisions[0].blocking_attribute, Some(AttributeId(1)));
+        assert_eq!(
+            outcome.decisions[0].blocking_attribute,
+            Some(AttributeId(1))
+        );
         assert_eq!(outcome.decisions[0].min_posterior, 0.0);
     }
 

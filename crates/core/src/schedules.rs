@@ -107,7 +107,10 @@ impl PeerInferenceLogic {
             .variables_of(peer)
             .into_iter()
             .map(|idx| {
-                let p = priors.get(&model.variables[idx]).copied().unwrap_or(default_prior);
+                let p = priors
+                    .get(&model.variables[idx])
+                    .copied()
+                    .unwrap_or(default_prior);
                 (idx, Belief::from_probability(p))
             })
             .collect();
@@ -115,7 +118,11 @@ impl PeerInferenceLogic {
         for &(variable, _) in &owned {
             for e in model.evidences_of(variable) {
                 let evidence = &model.evidences[e];
-                let position = evidence.variables.iter().position(|&v| v == variable).unwrap();
+                let position = evidence
+                    .variables
+                    .iter()
+                    .position(|&v| v == variable)
+                    .unwrap();
                 replicas.push(ReplicaState {
                     evidence: e,
                     variable,
@@ -186,7 +193,7 @@ impl PeerInferenceLogic {
 
     fn should_send(&self, round: u64) -> bool {
         match self.schedule {
-            ScheduleKind::Periodic { period } => period != 0 && round % period == 0,
+            ScheduleKind::Periodic { period } => period != 0 && round.is_multiple_of(period),
             ScheduleKind::Lazy { .. } => self.saw_query,
         }
     }
@@ -253,22 +260,21 @@ impl<'m> PeerLogic for LogicAdapter<'m> {
                             })
                             .map(|_| belief.attribute),
                     };
-                    let variable = self
-                        .model
-                        .variable_index(&key)
-                        .or_else(|| {
-                            self.model.variable_index(&VariableKey {
-                                mapping: belief.mapping,
-                                attribute: None,
-                            })
-                        });
+                    let variable = self.model.variable_index(&key).or_else(|| {
+                        self.model.variable_index(&VariableKey {
+                            mapping: belief.mapping,
+                            attribute: None,
+                        })
+                    });
                     if let Some(variable) = variable {
                         for r in &mut self.inner.replicas {
                             if r.evidence == belief.evidence {
                                 if let Some(pos) = r.scope.iter().position(|&v| v == variable) {
                                     if pos != r.position {
-                                        r.incoming[pos] =
-                                            Belief::from_weights(belief.mu_correct, belief.mu_incorrect);
+                                        r.incoming[pos] = Belief::from_weights(
+                                            belief.mu_correct,
+                                            belief.mu_incorrect,
+                                        );
                                     }
                                 }
                             }
@@ -411,7 +417,8 @@ mod tests {
         let model = model_of(&cat);
         let priors = BTreeMap::new();
         let reference = run_embedded(&model, &priors, 0.5, EmbeddedConfig::default());
-        let mut run = DecentralizedRun::new(&cat, &model, &priors, 0.5, DecentralizedConfig::default());
+        let mut run =
+            DecentralizedRun::new(&cat, &model, &priors, 0.5, DecentralizedConfig::default());
         let posteriors = run.run();
         for (i, p) in posteriors.iter().enumerate() {
             assert!(
@@ -453,7 +460,11 @@ mod tests {
                 attribute: Some(AttributeId(0)),
             })
             .unwrap();
-        assert!(posteriors[m24_creator] < 0.5, "got {}", posteriors[m24_creator]);
+        assert!(
+            posteriors[m24_creator] < 0.5,
+            "got {}",
+            posteriors[m24_creator]
+        );
         assert!(run.stats().dropped_total() > 0);
     }
 
@@ -482,7 +493,11 @@ mod tests {
                 attribute: Some(AttributeId(0)),
             })
             .unwrap();
-        assert!(posteriors[m24_creator] < 0.5, "got {}", posteriors[m24_creator]);
+        assert!(
+            posteriors[m24_creator] < 0.5,
+            "got {}",
+            posteriors[m24_creator]
+        );
         // Lazy runs generate query traffic that the belief messages piggyback on.
         assert!(run.stats().sent_of("query") > 0);
     }

@@ -1,0 +1,684 @@
+//! Incremental engine sessions: builder-constructed, delta-driven, batch-routing.
+//!
+//! [`crate::engine::Engine::run`] recomputes everything — cycle enumeration, model
+//! construction, inference from cold — on every call, which cannot scale to evolving
+//! networks where each epoch changes a handful of mappings out of thousands. An
+//! [`EngineSession`] is the incremental counterpart:
+//!
+//! * **built once** from a catalog via the builder
+//!   (`Engine::builder().granularity(..).backend(..).build(catalog)`), running the
+//!   full pipeline a single time;
+//! * **updated by deltas**: [`EngineSession::apply`] consumes
+//!   [`NetworkEvent`]s (peer/mapping additions, removals, corruptions, repairs — the
+//!   Section 4.4 dynamics) and invalidates only the cycles and parallel paths that
+//!   touch the changed mappings. Additions search just the paths through the new
+//!   edge, removals drop just the paths through the dead edge, correspondence edits
+//!   re-observe just the paths through the edited mapping — everything else is
+//!   reused verbatim;
+//! * **warm-started**: iterative backends restart message passing from the previous
+//!   posteriors ([`crate::embedded::EmbeddedMessagePassing::warm_start`]), so
+//!   inference after a local change takes a fraction of the cold-start rounds;
+//! * **batch-routing**: [`EngineSession::route_all`] answers a whole query workload
+//!   against one cached posterior snapshot instead of rebuilding the posterior table
+//!   per query.
+//!
+//! The session always reaches the same posteriors as a from-scratch engine run on the
+//! mutated catalog (exactly for one-shot backends, to convergence tolerance for
+//! iterative ones) — `tests/session_incremental.rs` asserts this round trip.
+
+use crate::backend::{backend_for_method, InferenceBackend, InferenceTask};
+use crate::cycle_analysis::{AnalysisConfig, AnalysisDelta, CycleAnalysis};
+use crate::delta::estimate_delta_for_catalog;
+use crate::dynamics::{apply_event, EventEffect, NetworkEvent};
+use crate::embedded::EmbeddedConfig;
+use crate::engine::{EngineConfig, InferenceMethod};
+use crate::local_graph::{Granularity, MappingModel, VariableKey};
+use crate::metrics::{precision_recall, EvaluationReport};
+use crate::posterior::PosteriorTable;
+use crate::priors::PriorStore;
+use crate::routing::{route_query, RoutingOutcome, RoutingPolicy};
+use pdms_schema::{Catalog, PeerId, Query};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builder for [`EngineSession`]s (obtained from [`crate::engine::Engine::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    analysis: AnalysisConfig,
+    granularity: Granularity,
+    delta: Option<f64>,
+    embedded: EmbeddedConfig,
+    backend: Option<Arc<dyn InferenceBackend>>,
+    method: Option<InferenceMethod>,
+    priors: Option<PriorStore>,
+}
+
+impl EngineBuilder {
+    /// A builder with the paper's defaults (fine granularity, embedded backend,
+    /// estimated Δ, maximum-entropy priors).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Imports an existing [`EngineConfig`] (the migration path from the deprecated
+    /// batch configuration; see `MIGRATION.md`).
+    ///
+    /// Only an explicit `config.backend` trait object is carried over as-is; the
+    /// `method` + `embedded` pair is re-resolved at [`EngineBuilder::build`] time, so
+    /// further builder calls (`.embedded(..)`, `.method(..)`) compose the same way
+    /// they do on a fresh builder.
+    pub fn from_config(config: EngineConfig) -> Self {
+        Self {
+            analysis: config.analysis,
+            granularity: config.granularity,
+            delta: config.delta,
+            embedded: config.embedded,
+            backend: config.backend,
+            method: Some(config.method),
+            priors: None,
+        }
+    }
+
+    /// Sets the cycle / parallel-path discovery bounds.
+    pub fn analysis(mut self, analysis: AnalysisConfig) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    /// Sets the variable granularity (Section 4.1).
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Pins the compensating-error probability Δ (Section 4.5); unset, Δ is estimated
+    /// from the catalog's schema sizes.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Sets the inference backend.
+    pub fn backend(mut self, backend: impl InferenceBackend + 'static) -> Self {
+        self.backend = Some(Arc::new(backend));
+        self
+    }
+
+    /// Sets an already-shared inference backend.
+    pub fn backend_arc(mut self, backend: Arc<dyn InferenceBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Selects a built-in backend by the deprecated [`InferenceMethod`] name.
+    ///
+    /// The backend is resolved at [`EngineBuilder::build`] time, so `.method(..)`
+    /// and `.embedded(..)` compose in either order (an explicit `.backend(..)` /
+    /// `.backend_arc(..)` always wins over `method`).
+    pub fn method(mut self, method: InferenceMethod) -> Self {
+        self.method = Some(method);
+        self
+    }
+
+    /// Sets the embedded message-passing parameters consumed by the default
+    /// [`crate::backend::EmbeddedBackend`] (ignored once an explicit backend is set).
+    pub fn embedded(mut self, embedded: EmbeddedConfig) -> Self {
+        self.embedded = embedded;
+        self
+    }
+
+    /// Starts from an explicit prior store (e.g. default prior 0.7 for mappings from
+    /// an aligner of known quality, or pinned expert-validated mappings).
+    pub fn priors(mut self, priors: PriorStore) -> Self {
+        self.priors = Some(priors);
+        self
+    }
+
+    /// Builds the session: runs the full pipeline once over `catalog` and caches
+    /// analysis, model and posteriors for incremental maintenance.
+    pub fn build(self, catalog: Catalog) -> EngineSession {
+        let backend = self
+            .backend
+            .unwrap_or_else(|| backend_for_method(self.method.unwrap_or_default(), &self.embedded));
+        let mut session = EngineSession {
+            catalog,
+            analysis_config: self.analysis,
+            granularity: self.granularity,
+            delta_override: self.delta,
+            backend,
+            priors: self.priors.unwrap_or_default(),
+            analysis: CycleAnalysis::default(),
+            model: MappingModel::default(),
+            variable_posteriors: BTreeMap::new(),
+            posteriors: PosteriorTable::new(0.5),
+            rounds: 0,
+            converged: true,
+            stats: SessionStats::default(),
+        };
+        session.rebuild_from_scratch();
+        session
+    }
+}
+
+/// What one [`EngineSession::apply`] call did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApplyReport {
+    /// Events that actually changed the catalog.
+    pub events_applied: usize,
+    /// Events that were no-ops (repair without ground truth, drop of a missing
+    /// correspondence, removal of a removed mapping, empty mapping).
+    pub events_ignored: usize,
+    /// What the incremental analysis maintenance did.
+    pub analysis: AnalysisDelta,
+    /// Rounds the (warm-started) inference used after the update — 0 when the batch
+    /// touched no evidence and inference was skipped entirely.
+    pub rounds: usize,
+    /// Whether inference converged after the update.
+    pub converged: bool,
+}
+
+/// Cumulative maintenance statistics of a session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Full from-scratch pipeline runs (1 after `build`).
+    pub full_builds: usize,
+    /// Incremental `apply` calls.
+    pub incremental_applies: usize,
+    /// Inference rounds summed over the session's lifetime.
+    pub total_rounds: usize,
+    /// Evidence paths discovered incrementally.
+    pub evidences_added: usize,
+    /// Evidence paths dropped incrementally.
+    pub evidences_removed: usize,
+    /// Evidence paths re-observed in place.
+    pub evidences_reobserved: usize,
+}
+
+/// A stateful, incrementally maintained inference session over an evolving catalog.
+#[derive(Debug, Clone)]
+pub struct EngineSession {
+    catalog: Catalog,
+    analysis_config: AnalysisConfig,
+    granularity: Granularity,
+    delta_override: Option<f64>,
+    backend: Arc<dyn InferenceBackend>,
+    priors: PriorStore,
+    analysis: CycleAnalysis,
+    model: MappingModel,
+    variable_posteriors: BTreeMap<VariableKey, f64>,
+    posteriors: PosteriorTable,
+    rounds: usize,
+    converged: bool,
+    stats: SessionStats,
+}
+
+impl EngineSession {
+    /// The catalog in its current (post-deltas) state.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The cached evidence analysis.
+    pub fn analysis(&self) -> &CycleAnalysis {
+        &self.analysis
+    }
+
+    /// The cached probabilistic model.
+    pub fn model(&self) -> &MappingModel {
+        &self.model
+    }
+
+    /// The cached posterior snapshot all routing and evaluation runs against.
+    pub fn posteriors(&self) -> &PosteriorTable {
+        &self.posteriors
+    }
+
+    /// The accumulated prior store.
+    pub fn priors(&self) -> &PriorStore {
+        &self.priors
+    }
+
+    /// Mutable prior access (e.g. to pin expert-validated mappings).
+    pub fn priors_mut(&mut self) -> &mut PriorStore {
+        &mut self.priors
+    }
+
+    /// Name of the inference backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Rounds the most recent inference run used.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Whether the most recent inference run converged.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Cumulative maintenance statistics.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Δ in effect: the pinned value or the schema-size estimate over the current
+    /// catalog.
+    pub fn delta(&self) -> f64 {
+        self.delta_override
+            .unwrap_or_else(|| estimate_delta_for_catalog(&self.catalog))
+    }
+
+    /// Applies a batch of network events, invalidating only the evidence touching
+    /// the changed mappings, then re-runs inference warm-started from the previous
+    /// posteriors.
+    pub fn apply(&mut self, events: &[NetworkEvent]) -> ApplyReport {
+        // `analysis.evidences_reused` is recounted exactly at the end of the batch;
+        // everything else accumulates through `AnalysisDelta::merge`.
+        let mut report = ApplyReport::default();
+        // Events are processed strictly in order: each incremental analysis update
+        // sees the catalog exactly as of its own event, so a batch adding two
+        // mappings discovers a cycle using both exactly once (from the second edge).
+        // Correspondence-level edits only mark their mapping: re-observation is
+        // deferred and deduplicated, so a batch corrupting five attributes of one
+        // mapping re-observes its evidence once, not five times.
+        let mut edited: std::collections::BTreeSet<pdms_schema::MappingId> =
+            std::collections::BTreeSet::new();
+        let mut added: std::collections::BTreeSet<pdms_schema::MappingId> =
+            std::collections::BTreeSet::new();
+        for event in events {
+            match apply_event(&mut self.catalog, event) {
+                None => report.events_ignored += 1,
+                Some(effect) => {
+                    report.events_applied += 1;
+                    match effect {
+                        EventEffect::PeerAdded(_) => {}
+                        EventEffect::MappingAdded(mapping) => {
+                            let delta = self.analysis.add_mapping_incremental(
+                                &self.catalog,
+                                mapping,
+                                &self.analysis_config,
+                            );
+                            report.analysis.merge(delta);
+                            added.insert(mapping);
+                        }
+                        EventEffect::MappingRemoved(mapping) => {
+                            let delta = self.analysis.remove_mapping_incremental(mapping);
+                            report.analysis.merge(delta);
+                            edited.remove(&mapping);
+                            added.remove(&mapping);
+                        }
+                        EventEffect::MappingChanged(mapping) => {
+                            edited.insert(mapping);
+                        }
+                    }
+                }
+            }
+        }
+        if !edited.is_empty() {
+            let edited_list: Vec<pdms_schema::MappingId> = edited.iter().copied().collect();
+            let delta = self
+                .analysis
+                .reobserve_mappings(&self.catalog, &edited_list);
+            report.analysis.merge(delta);
+        }
+        // Exact reuse count: the evidence paths still present that go through no
+        // added or edited mapping were left completely untouched by this batch.
+        // (The per-delta min-merge undercounts or overcounts when a batch mixes
+        // additions with edits, because each delta measures against a different
+        // evidence total.)
+        report.analysis.evidences_reused = self
+            .analysis
+            .evidences
+            .iter()
+            .filter(|e| {
+                !edited.iter().any(|m| e.contains(*m)) && !added.iter().any(|m| e.contains(*m))
+            })
+            .count();
+        let analysis_changed = report.analysis.evidences_added > 0
+            || report.analysis.evidences_removed > 0
+            || report.analysis.evidences_reobserved > 0;
+        // Events that applied but touched no evidence (an isolated AddPeer, a new
+        // mapping on a peer with no return paths yet) leave the model — and thus the
+        // posteriors — bit-identical, so inference is skipped entirely.
+        if analysis_changed {
+            // Warm-start only the variables of untouched mappings: their messages sit
+            // at (or near) the fixpoint. Variables on changed or added mappings
+            // restart from the unit message — seeding them with stale posteriors
+            // would anchor the iteration at the pre-change fixpoint and slow
+            // convergence down.
+            let warm: BTreeMap<VariableKey, f64> = self
+                .variable_posteriors
+                .iter()
+                .filter(|(key, _)| !edited.contains(&key.mapping) && !added.contains(&key.mapping))
+                .map(|(key, p)| (*key, *p))
+                .collect();
+            self.reinfer(Some(&warm));
+            report.rounds = self.rounds;
+        }
+        // When inference was skipped, rounds stays 0: no inference ran for this
+        // update. `converged` always describes the posteriors currently served.
+        report.converged = self.converged;
+        self.stats.incremental_applies += 1;
+        self.stats.evidences_added += report.analysis.evidences_added;
+        self.stats.evidences_removed += report.analysis.evidences_removed;
+        self.stats.evidences_reobserved += report.analysis.evidences_reobserved;
+        report
+    }
+
+    /// Folds the current posteriors back into the priors (the Section 4.4 update), so
+    /// subsequent inference starts from the accumulated evidence.
+    pub fn update_priors(&mut self) {
+        let as_map = self.posteriors.as_variable_map(&self.model);
+        self.priors.update_all(&as_map);
+    }
+
+    /// Routes one query from `origin` against the cached posterior snapshot.
+    pub fn route(&self, origin: PeerId, query: &Query, policy: &RoutingPolicy) -> RoutingOutcome {
+        route_query(&self.catalog, &self.posteriors, origin, query, policy)
+    }
+
+    /// Routes a whole workload of `(origin, query)` pairs against one cached
+    /// posterior snapshot — the batch entry point that avoids any per-query posterior
+    /// rebuild.
+    pub fn route_all(
+        &self,
+        requests: &[(PeerId, Query)],
+        policy: &RoutingPolicy,
+    ) -> Vec<RoutingOutcome> {
+        requests
+            .iter()
+            .map(|(origin, query)| {
+                route_query(&self.catalog, &self.posteriors, *origin, query, policy)
+            })
+            .collect()
+    }
+
+    /// Evaluates erroneous-mapping detection at threshold θ against ground truth,
+    /// using the cached posteriors.
+    pub fn evaluate(&self, theta: f64) -> EvaluationReport {
+        precision_recall(&self.catalog, &self.posteriors, theta)
+    }
+
+    /// Discards every cache and recomputes the full pipeline (the non-incremental
+    /// path; also useful to bound warm-start drift in very long sessions).
+    pub fn rebuild_from_scratch(&mut self) {
+        self.analysis = CycleAnalysis::analyze(&self.catalog, &self.analysis_config);
+        self.reinfer(None);
+        self.stats.full_builds += 1;
+    }
+
+    /// Rebuilds the model from the cached analysis and re-runs inference, optionally
+    /// warm-starting iterative backends from the given previous posteriors.
+    fn reinfer(&mut self, warm_start: Option<&BTreeMap<VariableKey, f64>>) {
+        let delta = self.delta();
+        self.model = MappingModel::build(&self.catalog, &self.analysis, self.granularity, delta);
+        let prior_map = self.priors.snapshot();
+        let default_prior = self.priors.default_prior();
+        let warm_start = warm_start.filter(|map| !map.is_empty());
+        let outcome = self.backend.infer(&InferenceTask {
+            model: &self.model,
+            analysis: &self.analysis,
+            priors: &prior_map,
+            default_prior,
+            warm_start,
+        });
+        self.rounds = outcome.rounds;
+        self.converged = outcome.converged;
+        self.stats.total_rounds += outcome.rounds;
+        self.variable_posteriors = self
+            .model
+            .variables
+            .iter()
+            .zip(&outcome.posteriors)
+            .map(|(key, p)| (*key, *p))
+            .collect();
+        self.posteriors =
+            PosteriorTable::from_model(&self.model, &outcome.posteriors, default_prior);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactBackend;
+    use crate::engine::Engine;
+    use pdms_schema::{AttributeId, MappingId, Predicate};
+
+    /// Four peers, ring plus chord, three attributes (small enough for exact).
+    fn intro_catalog_small() -> Catalog {
+        let mut cat = Catalog::new();
+        let peers: Vec<PeerId> = (0..4)
+            .map(|i| {
+                cat.add_peer_with_schema(format!("p{}", i + 1), |s| {
+                    s.attributes(["Creator", "Item", "CreatedOn"]);
+                })
+            })
+            .collect();
+        let correct = |m: pdms_schema::MappingBuilder| {
+            m.correct(AttributeId(0), AttributeId(0))
+                .correct(AttributeId(1), AttributeId(1))
+                .correct(AttributeId(2), AttributeId(2))
+        };
+        cat.add_mapping(peers[0], peers[1], correct);
+        cat.add_mapping(peers[1], peers[2], correct);
+        cat.add_mapping(peers[2], peers[3], correct);
+        cat.add_mapping(peers[3], peers[0], correct);
+        cat.add_mapping(peers[1], peers[3], |m| {
+            m.erroneous(AttributeId(0), AttributeId(2), AttributeId(0))
+                .correct(AttributeId(1), AttributeId(1))
+                .correct(AttributeId(2), AttributeId(2))
+        });
+        cat
+    }
+
+    fn exact_session() -> EngineSession {
+        Engine::builder()
+            .backend(ExactBackend)
+            .delta(0.1)
+            .build(intro_catalog_small())
+    }
+
+    #[test]
+    fn builder_runs_the_full_pipeline_once() {
+        let session = exact_session();
+        assert_eq!(session.stats().full_builds, 1);
+        assert_eq!(session.backend_name(), "exact");
+        assert!(session.converged());
+        assert!(session.posteriors().mapping_probability(MappingId(4)) < 0.5);
+        assert!(session.posteriors().mapping_probability(MappingId(0)) > 0.5);
+    }
+
+    #[test]
+    fn apply_reports_reuse_and_invalidation() {
+        let mut session = exact_session();
+        let evidences_before = session.analysis().evidences.len();
+        // Corrupting the ring mapping m23 only re-observes the paths through it.
+        let report = session.apply(&[NetworkEvent::Corrupt {
+            mapping: MappingId(1),
+            attribute: AttributeId(1),
+            wrong_target: AttributeId(0),
+        }]);
+        assert_eq!(report.events_applied, 1);
+        assert_eq!(report.analysis.evidences_removed, 0);
+        assert_eq!(report.analysis.evidences_added, 0);
+        assert!(report.analysis.evidences_reobserved > 0);
+        assert!(report.analysis.evidences_reused < evidences_before);
+        assert_eq!(session.analysis().evidences.len(), evidences_before);
+        // The corruption is visible in the posterior snapshot.
+        assert!(
+            session
+                .posteriors()
+                .probability_ignoring_bottom(MappingId(1), AttributeId(1))
+                < 0.5
+        );
+    }
+
+    #[test]
+    fn remove_mapping_drops_only_its_evidence() {
+        let mut session = exact_session();
+        let through_chord = session.analysis().evidences_through(MappingId(4)).len();
+        assert!(through_chord > 0);
+        let before = session.analysis().evidences.len();
+        let report = session.apply(&[NetworkEvent::RemoveMapping {
+            mapping: MappingId(4),
+        }]);
+        assert_eq!(report.analysis.evidences_removed, through_chord);
+        assert_eq!(session.analysis().evidences.len(), before - through_chord);
+        assert!(session
+            .analysis()
+            .evidences_through(MappingId(4))
+            .is_empty());
+        // Evidence ids stay dense and aligned with observations.
+        for (i, evidence) in session.analysis().evidences.iter().enumerate() {
+            assert_eq!(evidence.id, i);
+        }
+        for observation in &session.analysis().observations {
+            assert!(observation.evidence < session.analysis().evidences.len());
+        }
+        // Removing it again is a no-op event.
+        let report = session.apply(&[NetworkEvent::RemoveMapping {
+            mapping: MappingId(4),
+        }]);
+        assert_eq!(report.events_applied, 0);
+        assert_eq!(report.events_ignored, 1);
+    }
+
+    #[test]
+    fn add_peer_then_mapping_grows_the_evidence() {
+        let mut session = exact_session();
+        let before = session.analysis().evidences.len();
+        let report = session.apply(&[NetworkEvent::AddPeer {
+            name: "p5".into(),
+            attributes: vec!["Creator".into(), "Item".into(), "CreatedOn".into()],
+        }]);
+        assert_eq!(report.events_applied, 1);
+        assert_eq!(report.analysis.evidences_added, 0);
+        assert_eq!(session.catalog().peer_count(), 5);
+        // Close a new cycle p4 -> p5 -> p1.
+        let correspondences: Vec<_> = (0..3)
+            .map(|a| (AttributeId(a), AttributeId(a), Some(AttributeId(a))))
+            .collect();
+        let report = session.apply(&[
+            NetworkEvent::AddMapping {
+                source: PeerId(3),
+                target: PeerId(4),
+                correspondences: correspondences.clone(),
+            },
+            NetworkEvent::AddMapping {
+                source: PeerId(4),
+                target: PeerId(0),
+                correspondences,
+            },
+        ]);
+        assert_eq!(report.events_applied, 2);
+        assert!(report.analysis.evidences_added > 0);
+        assert!(session.analysis().evidences.len() > before);
+    }
+
+    #[test]
+    fn route_all_reuses_one_snapshot() {
+        let session = exact_session();
+        let query = Query::new()
+            .project(AttributeId(0))
+            .select(AttributeId(1), Predicate::Contains("river".into()));
+        let requests: Vec<(PeerId, Query)> = (0..4).map(|p| (PeerId(p), query.clone())).collect();
+        let outcomes = session.route_all(&requests, &RoutingPolicy::uniform(0.5));
+        assert_eq!(outcomes.len(), 4);
+        // Each batched outcome matches the per-query entry point.
+        for ((origin, query), batched) in requests.iter().zip(&outcomes) {
+            let single = session.route(*origin, query, &RoutingPolicy::uniform(0.5));
+            assert_eq!(single.reached, batched.reached);
+            assert_eq!(single.tainted, batched.tainted);
+        }
+        // Routing from p2 avoids the faulty chord.
+        assert!(!outcomes[1]
+            .decisions
+            .iter()
+            .any(|d| d.mapping == MappingId(4) && d.forwarded));
+    }
+
+    #[test]
+    fn update_priors_accumulates_like_the_engine() {
+        let mut session = exact_session();
+        session.update_priors();
+        let key = VariableKey {
+            mapping: MappingId(4),
+            attribute: Some(AttributeId(0)),
+        };
+        assert!(session.priors().prior(&key) < 0.5);
+    }
+
+    #[test]
+    fn builder_from_config_carries_the_settings_over() {
+        let config = EngineConfig {
+            delta: Some(0.1),
+            method: InferenceMethod::Exact,
+            ..Default::default()
+        };
+        let session = EngineBuilder::from_config(config).build(intro_catalog_small());
+        assert_eq!(session.backend_name(), "exact");
+        assert_eq!(session.delta(), 0.1);
+
+        // Builder calls after from_config still compose: an embedded cap set later
+        // reaches the default backend (the method/embedded pair resolves at build).
+        let capped = EngineBuilder::from_config(EngineConfig {
+            delta: Some(0.1),
+            ..Default::default()
+        })
+        .embedded(EmbeddedConfig {
+            max_rounds: 2,
+            record_history: false,
+            ..Default::default()
+        })
+        .build(intro_catalog_small());
+        assert_eq!(capped.rounds(), 2);
+        assert!(!capped.converged());
+    }
+
+    #[test]
+    fn builder_method_and_embedded_compose_in_either_order() {
+        // Two rounds are not enough to converge on the intro network (the default
+        // would run to ~12), so rounds() == 2 proves the embedded config reached the
+        // backend regardless of whether .method() came before or after .embedded().
+        let capped = EmbeddedConfig {
+            max_rounds: 2,
+            record_history: false,
+            ..Default::default()
+        };
+        let method_first = Engine::builder()
+            .method(InferenceMethod::Embedded)
+            .embedded(capped.clone())
+            .delta(0.1)
+            .build(intro_catalog_small());
+        let embedded_first = Engine::builder()
+            .embedded(capped)
+            .method(InferenceMethod::Embedded)
+            .delta(0.1)
+            .build(intro_catalog_small());
+        assert_eq!(method_first.rounds(), 2);
+        assert_eq!(embedded_first.rounds(), 2);
+        assert!(!method_first.converged());
+    }
+
+    #[test]
+    fn peer_only_batches_skip_reinference() {
+        // Embedded backend: every inference run adds rounds to the total, so a
+        // stable total proves the backend never ran.
+        let mut session = Engine::builder().delta(0.1).build(intro_catalog_small());
+        let rounds_before = session.stats().total_rounds;
+        assert!(rounds_before > 0);
+        let report = session.apply(&[NetworkEvent::AddPeer {
+            name: "lurker".into(),
+            attributes: vec!["Creator".into()],
+        }]);
+        assert_eq!(report.events_applied, 1);
+        // No evidence changed, so inference was skipped entirely.
+        assert_eq!(session.stats().total_rounds, rounds_before);
+        assert_eq!(
+            report.analysis.evidences_reused,
+            session.analysis().evidences.len()
+        );
+    }
+}

@@ -95,7 +95,10 @@ pub fn expand_ttl_with_priors(
     priors: PriorStore,
 ) -> TtlExpansionReport {
     assert!(config.start_ttl >= 2, "cycles need at least two mappings");
-    assert!(config.max_ttl >= config.start_ttl, "max_ttl below start_ttl");
+    assert!(
+        config.max_ttl >= config.start_ttl,
+        "max_ttl below start_ttl"
+    );
     assert!(config.patience >= 1, "patience must be at least 1");
 
     let mut steps: Vec<TtlExpansionStep> = Vec::new();
@@ -179,8 +182,17 @@ mod tests {
             .map(|i| {
                 cat.add_peer_with_schema(format!("p{}", i + 1), |s| {
                     s.attributes([
-                        "Creator", "Item", "CreatedOn", "Title", "Subject", "Medium", "Height",
-                        "Width", "Location", "Owner", "Licence",
+                        "Creator",
+                        "Item",
+                        "CreatedOn",
+                        "Title",
+                        "Subject",
+                        "Medium",
+                        "Height",
+                        "Width",
+                        "Location",
+                        "Owner",
+                        "Licence",
                     ]);
                 })
             })
@@ -237,7 +249,9 @@ mod tests {
         );
         let direct = engine.run();
         for (mapping, attribute, p) in expansion.final_report.posteriors.fine_entries() {
-            let q = direct.posteriors.probability_ignoring_bottom(mapping, attribute);
+            let q = direct
+                .posteriors
+                .probability_ignoring_bottom(mapping, attribute);
             assert!((p - q).abs() < 1e-9, "{mapping} {attribute}: {p} vs {q}");
         }
     }
@@ -284,8 +298,12 @@ mod tests {
                 })
             })
             .collect();
-        cat.add_mapping(peers[0], peers[1], |m| m.correct(AttributeId(0), AttributeId(0)));
-        cat.add_mapping(peers[1], peers[2], |m| m.correct(AttributeId(0), AttributeId(0)));
+        cat.add_mapping(peers[0], peers[1], |m| {
+            m.correct(AttributeId(0), AttributeId(0))
+        });
+        cat.add_mapping(peers[1], peers[2], |m| {
+            m.correct(AttributeId(0), AttributeId(0))
+        });
         let report = expand_ttl(&cat, &TtlExpansionConfig::default());
         assert!(report.converged);
         assert_eq!(report.final_report.model.variable_count(), 0);

@@ -229,6 +229,9 @@ mod tests {
 
     #[test]
     fn display_shows_probability() {
-        assert_eq!(Belief::from_probability(0.25).to_string(), "P(correct)=0.2500");
+        assert_eq!(
+            Belief::from_probability(0.25).to_string(),
+            "P(correct)=0.2500"
+        );
     }
 }

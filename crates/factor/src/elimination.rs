@@ -165,7 +165,10 @@ pub fn eliminate_marginal(graph: &FactorGraph, query: VariableId) -> f64 {
 /// acceptable, and [`crate::junction_tree`] provides the single-propagation alternative
 /// when all marginals are needed on larger models.
 pub fn eliminate_marginals(graph: &FactorGraph) -> Vec<f64> {
-    graph.variables().map(|v| eliminate_marginal(graph, v)).collect()
+    graph
+        .variables()
+        .map(|v| eliminate_marginal(graph, v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -188,8 +191,16 @@ mod tests {
             true,
             0.1,
         ));
-        g.add_factor(Factor::feedback(vec![vars[0], vars[4], vars[3]], false, 0.1));
-        g.add_factor(Factor::feedback(vec![vars[1], vars[2], vars[4]], false, 0.1));
+        g.add_factor(Factor::feedback(
+            vec![vars[0], vars[4], vars[3]],
+            false,
+            0.1,
+        ));
+        g.add_factor(Factor::feedback(
+            vec![vars[1], vars[2], vars[4]],
+            false,
+            0.1,
+        ));
         g
     }
 
@@ -245,7 +256,10 @@ mod tests {
         }
         let marginals = eliminate_marginals(&g);
         assert_eq!(marginals.len(), 40);
-        assert!(marginals.iter().all(|p| *p > 0.5), "positive chain keeps everyone likely correct");
+        assert!(
+            marginals.iter().all(|p| *p > 0.5),
+            "positive chain keeps everyone likely correct"
+        );
         assert!(marginals[0] > 0.9);
     }
 
@@ -276,7 +290,7 @@ mod tests {
         let g = example_graph();
         let order = min_degree_ordering(&g);
         let width = induced_width(&g, &order);
-        assert!(width >= 2 && width <= 4, "width {width}");
+        assert!((2..=4).contains(&width), "width {width}");
     }
 
     #[test]

@@ -32,10 +32,7 @@ pub enum FactorKind {
 #[derive(Debug, Clone)]
 enum FactorBody {
     Prior(Belief),
-    Feedback {
-        sign: FeedbackSign,
-        delta: f64,
-    },
+    Feedback { sign: FeedbackSign, delta: f64 },
     Table(Vec<f64>),
 }
 
@@ -122,7 +119,11 @@ impl Factor {
     /// # Panics
     /// Panics if the assignment length does not match the scope or a state is not 0/1.
     pub fn evaluate(&self, assignment: &[usize]) -> f64 {
-        assert_eq!(assignment.len(), self.scope.len(), "assignment/scope mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.scope.len(),
+            "assignment/scope mismatch"
+        );
         assert!(assignment.iter().all(|s| *s < 2), "states must be 0 or 1");
         match &self.body {
             FactorBody::Prior(belief) => belief.weight(assignment[0]),

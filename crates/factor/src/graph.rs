@@ -146,7 +146,7 @@ impl FactorGraph {
         // Union-find over variables ∪ factors.
         let n = self.variable_count() + self.factor_count();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -56,7 +56,10 @@ impl JunctionTree {
     /// Panics if the induced width exceeds [`MAX_INDUCED_WIDTH`] (the model is too
     /// densely connected for exact inference) or if the factor graph has no variables.
     pub fn build(graph: &FactorGraph) -> Self {
-        assert!(graph.variable_count() > 0, "cannot build a junction tree over zero variables");
+        assert!(
+            graph.variable_count() > 0,
+            "cannot build a junction tree over zero variables"
+        );
         let order = min_degree_ordering(graph);
         let width = induced_width(graph, &order);
         assert!(
@@ -100,10 +103,7 @@ impl JunctionTree {
             // Parent: the elimination clique of the earliest-eliminated separator
             // member. That clique's index equals the member's elimination position,
             // which is strictly larger than this clique's index.
-            let parent = separator
-                .iter()
-                .map(|u| elimination_position[u.0])
-                .min();
+            let parent = separator.iter().map(|u| elimination_position[u.0]).min();
             eliminated[v.0] = true;
             for &a in &live {
                 for &b in &live {
@@ -126,10 +126,7 @@ impl JunctionTree {
             .map(|c| {
                 // Start from the all-ones table over the clique scope so marginals over
                 // unassigned variables still work.
-                DenseTable::new(
-                    c.variables.clone(),
-                    vec![1.0; 1usize << c.variables.len()],
-                )
+                DenseTable::new(c.variables.clone(), vec![1.0; 1usize << c.variables.len()])
             })
             .collect();
         for f in graph.factors() {
@@ -170,7 +167,11 @@ impl JunctionTree {
 
     /// Size of the largest clique.
     pub fn max_clique_size(&self) -> usize {
-        self.cliques.iter().map(|c| c.variables.len()).max().unwrap_or(0)
+        self.cliques
+            .iter()
+            .map(|c| c.variables.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The cliques of the tree.
@@ -213,13 +214,19 @@ impl JunctionTree {
             // Send to every child: the child's message must be divided out; since the
             // tables are small we recompute the product without the child instead of
             // dividing (division by zero-mass messages is ill-defined).
-            let children: Vec<usize> = (0..k).filter(|&c| self.cliques[c].parent == Some(i)).collect();
+            let children: Vec<usize> = (0..k)
+                .filter(|&c| self.cliques[c].parent == Some(i))
+                .collect();
             for child in children {
                 let mut to_child = self.potentials[i].clone();
                 if let Some(msg) = &downward[i] {
                     to_child = to_child.multiply(msg);
                 }
-                for &other in (0..k).filter(|&c| self.cliques[c].parent == Some(i)).collect::<Vec<_>>().iter() {
+                for &other in (0..k)
+                    .filter(|&c| self.cliques[c].parent == Some(i))
+                    .collect::<Vec<_>>()
+                    .iter()
+                {
                     if other == child {
                         continue;
                     }
@@ -279,8 +286,16 @@ mod tests {
             true,
             0.1,
         ));
-        g.add_factor(Factor::feedback(vec![vars[0], vars[4], vars[3]], false, 0.1));
-        g.add_factor(Factor::feedback(vec![vars[1], vars[2], vars[4]], false, 0.1));
+        g.add_factor(Factor::feedback(
+            vec![vars[0], vars[4], vars[3]],
+            false,
+            0.1,
+        ));
+        g.add_factor(Factor::feedback(
+            vec![vars[1], vars[2], vars[4]],
+            false,
+            0.1,
+        ));
         g
     }
 

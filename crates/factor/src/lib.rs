@@ -43,7 +43,9 @@ pub mod sum_product;
 pub mod tables;
 
 pub use belief::Belief;
-pub use elimination::{eliminate_marginal, eliminate_marginals, induced_width, min_degree_ordering};
+pub use elimination::{
+    eliminate_marginal, eliminate_marginals, induced_width, min_degree_ordering,
+};
 pub use exact::exact_marginals;
 pub use factor::{Factor, FactorKind};
 pub use feedback_factor::{feedback_message, FeedbackSign};

@@ -169,8 +169,16 @@ mod tests {
             true,
             0.1,
         ));
-        g.add_factor(Factor::feedback(vec![vars[0], vars[4], vars[3]], false, 0.1));
-        g.add_factor(Factor::feedback(vec![vars[1], vars[2], vars[4]], false, 0.1));
+        g.add_factor(Factor::feedback(
+            vec![vars[0], vars[4], vars[3]],
+            false,
+            0.1,
+        ));
+        g.add_factor(Factor::feedback(
+            vec![vars[1], vars[2], vars[4]],
+            false,
+            0.1,
+        ));
         g
     }
 

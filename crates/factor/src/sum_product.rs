@@ -160,7 +160,10 @@ impl<'g> SumProduct<'g> {
     }
 
     fn should_send(&mut self) -> bool {
-        self.config.send_probability >= 1.0 || self.rng.gen_bool(self.config.send_probability.clamp(0.0, 1.0))
+        self.config.send_probability >= 1.0
+            || self
+                .rng
+                .gen_bool(self.config.send_probability.clamp(0.0, 1.0))
     }
 
     fn position_in_scope(&self, f: FactorId, v: VariableId) -> usize {
@@ -201,6 +204,7 @@ impl<'g> SumProduct<'g> {
         // variable→factor table.
         let mut new_factor_to_var = self.factor_to_var.clone();
         for f in self.graph.factors() {
+            #[allow(clippy::needless_range_loop)]
             for pos in 0..self.graph.scope_of(f).len() {
                 if self.should_send() {
                     let incoming = &self.var_to_factor[f.0];
@@ -389,7 +393,11 @@ mod tests {
             },
         );
         assert!(report.converged);
-        assert!(report.iterations <= 15, "took {} iterations", report.iterations);
+        assert!(
+            report.iterations <= 15,
+            "took {} iterations",
+            report.iterations
+        );
     }
 
     #[test]

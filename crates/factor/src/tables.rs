@@ -88,7 +88,11 @@ impl DenseTable {
     /// # Panics
     /// Panics if the table still has variables in scope.
     pub fn scalar(&self) -> f64 {
-        assert!(self.is_scalar(), "table still has {} variables in scope", self.scope.len());
+        assert!(
+            self.is_scalar(),
+            "table still has {} variables in scope",
+            self.scope.len()
+        );
         self.values[0]
     }
 
@@ -99,7 +103,11 @@ impl DenseTable {
 
     /// Value at a full assignment of the scope (one state per scope position).
     pub fn value_at(&self, assignment: &[usize]) -> f64 {
-        assert_eq!(assignment.len(), self.scope.len(), "assignment/scope mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.scope.len(),
+            "assignment/scope mismatch"
+        );
         let mut index = 0usize;
         for (pos, state) in assignment.iter().enumerate() {
             assert!(*state < 2, "states must be 0 or 1");
@@ -125,12 +133,22 @@ impl DenseTable {
         let self_pos: Vec<usize> = self
             .scope
             .iter()
-            .map(|v| scope.iter().position(|s| s == v).expect("own scope is in the union"))
+            .map(|v| {
+                scope
+                    .iter()
+                    .position(|s| s == v)
+                    .expect("own scope is in the union")
+            })
             .collect();
         let other_pos: Vec<usize> = other
             .scope
             .iter()
-            .map(|v| scope.iter().position(|s| s == v).expect("other scope is in the union"))
+            .map(|v| {
+                scope
+                    .iter()
+                    .position(|s| s == v)
+                    .expect("other scope is in the union")
+            })
             .collect();
         for code in 0..(1usize << n) {
             for (pos, state) in assignment.iter_mut().enumerate() {

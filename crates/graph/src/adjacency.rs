@@ -312,7 +312,10 @@ mod tests {
         let mut g = DiGraph::with_nodes(3);
         g.add_edge(NodeId(0), NodeId(1));
         g.add_edge(NodeId(2), NodeId(0));
-        assert_eq!(g.neighbors_undirected(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            g.neighbors_undirected(NodeId(0)),
+            vec![NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]

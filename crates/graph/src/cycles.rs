@@ -208,14 +208,111 @@ fn search(
     }
 }
 
-/// Cycles passing through a specific edge, convenience filter over [`enumerate_cycles`].
-pub fn cycles_through_edge(graph: &DiGraph, edge: EdgeId, max_len: usize, directed: bool) -> Vec<Cycle> {
-    let all = if directed {
-        enumerate_cycles(graph, max_len)
-    } else {
-        enumerate_undirected_cycles(graph, max_len)
+/// Cycles passing through a specific edge.
+///
+/// The directed case is a *targeted* search — a simple cycle through `e = (u, v)` is
+/// exactly a simple directed path `v ⇝ u` of length `≤ max_len − 1` closed by `e` — so
+/// its cost is bounded by the paths near the edge rather than by the whole graph. This
+/// is the workhorse of incremental evidence maintenance: adding one mapping only pays
+/// for the cycles that mapping creates. The undirected case falls back to filtering the
+/// full enumeration.
+pub fn cycles_through_edge(
+    graph: &DiGraph,
+    edge: EdgeId,
+    max_len: usize,
+    directed: bool,
+) -> Vec<Cycle> {
+    if !directed {
+        return enumerate_undirected_cycles(graph, max_len)
+            .into_iter()
+            .filter(|c| c.contains_edge(edge))
+            .collect();
+    }
+    let Some(edge_ref) = graph.edge(edge) else {
+        return Vec::new();
     };
-    all.into_iter().filter(|c| c.contains_edge(edge)).collect()
+    if max_len < 2 || edge_ref.source == edge_ref.target {
+        return Vec::new();
+    }
+    let mut found = Vec::new();
+    let mut node_path = vec![edge_ref.target];
+    let mut edge_path = Vec::new();
+    let mut on_path = vec![false; graph.node_count()];
+    on_path[edge_ref.target.0] = true;
+    close_paths(
+        graph,
+        edge_ref.source,
+        edge_ref.target,
+        edge,
+        max_len - 1,
+        &mut node_path,
+        &mut edge_path,
+        &mut on_path,
+        &mut found,
+    );
+    found
+}
+
+/// Extends a simple path from `current` towards `goal`; every arrival at `goal` closes
+/// one cycle through `closing_edge`.
+#[allow(clippy::too_many_arguments)]
+fn close_paths(
+    graph: &DiGraph,
+    goal: NodeId,
+    current: NodeId,
+    closing_edge: EdgeId,
+    remaining: usize,
+    node_path: &mut Vec<NodeId>,
+    edge_path: &mut Vec<EdgeId>,
+    on_path: &mut [bool],
+    found: &mut Vec<Cycle>,
+) {
+    if remaining == 0 {
+        return;
+    }
+    for e in graph.outgoing(current) {
+        if e.id == closing_edge || edge_path.contains(&e.id) || e.target == current {
+            continue;
+        }
+        if e.target == goal {
+            // The path closes the cycle: [closing_edge, path edges..., e] starting at
+            // the closing edge's target.
+            let mut cycle = Cycle {
+                nodes: node_path.clone(),
+                edges: {
+                    let mut edges = edge_path.clone();
+                    edges.push(e.id);
+                    edges.push(closing_edge);
+                    edges
+                },
+                kind: CycleKind::Directed,
+            };
+            cycle.nodes.push(goal);
+            cycle.normalize();
+            found.push(cycle);
+            continue;
+        }
+        if on_path[e.target.0] {
+            continue;
+        }
+        node_path.push(e.target);
+        edge_path.push(e.id);
+        on_path[e.target.0] = true;
+        close_paths(
+            graph,
+            goal,
+            e.target,
+            closing_edge,
+            remaining - 1,
+            node_path,
+            edge_path,
+            on_path,
+            found,
+        );
+        on_path[e.target.0] = false;
+        edge_path.pop();
+        node_path.pop();
+    }
 }
 
 #[cfg(test)]
@@ -296,12 +393,14 @@ mod tests {
         let mut lens: Vec<usize> = cycles.iter().map(Cycle::len).collect();
         lens.sort_unstable();
         assert_eq!(lens, vec![3, 3, 4]);
-        assert!(cycles
-            .iter()
-            .any(|c| c.len() == 3 && c.contains_edge(m12) && c.contains_edge(m24) && c.contains_edge(m41)));
-        assert!(cycles
-            .iter()
-            .any(|c| c.len() == 3 && c.contains_edge(m23) && c.contains_edge(m34) && c.contains_edge(m24)));
+        assert!(cycles.iter().any(|c| c.len() == 3
+            && c.contains_edge(m12)
+            && c.contains_edge(m24)
+            && c.contains_edge(m41)));
+        assert!(cycles.iter().any(|c| c.len() == 3
+            && c.contains_edge(m23)
+            && c.contains_edge(m34)
+            && c.contains_edge(m24)));
         assert!(cycles.iter().any(|c| c.len() == 4
             && c.contains_edge(m12)
             && c.contains_edge(m23)
@@ -336,6 +435,45 @@ mod tests {
         let through_m24 = cycles_through_edge(&g, m[5], 4, true);
         assert_eq!(through_m24.len(), 1);
         assert_eq!(through_m24[0].len(), 3);
+    }
+
+    #[test]
+    fn targeted_search_matches_filtered_enumeration_on_every_edge() {
+        let (g, m) = paper_directed_example();
+        for &edge in &m {
+            for max_len in 2..=5 {
+                let mut targeted: Vec<Vec<EdgeId>> = cycles_through_edge(&g, edge, max_len, true)
+                    .iter()
+                    .map(Cycle::canonical_edges)
+                    .collect();
+                let mut filtered: Vec<Vec<EdgeId>> = enumerate_cycles(&g, max_len)
+                    .into_iter()
+                    .filter(|c| c.contains_edge(edge))
+                    .map(|c| c.canonical_edges())
+                    .collect();
+                targeted.sort();
+                filtered.sort();
+                assert_eq!(targeted, filtered, "edge {edge} max_len {max_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_search_normalizes_like_the_enumerator() {
+        let (g, m) = paper_directed_example();
+        let targeted = cycles_through_edge(&g, m[5], 4, true);
+        let from_enumeration: Vec<Cycle> = enumerate_cycles(&g, 4)
+            .into_iter()
+            .filter(|c| c.contains_edge(m[5]))
+            .collect();
+        assert_eq!(targeted, from_enumeration);
+    }
+
+    #[test]
+    fn targeted_search_on_removed_edge_is_empty() {
+        let (mut g, m) = paper_directed_example();
+        g.remove_edge(m[5]);
+        assert!(cycles_through_edge(&g, m[5], 5, true).is_empty());
     }
 
     #[test]

@@ -99,7 +99,6 @@ impl GeneratorConfig {
             attachment: neighbours,
             probability: rewire,
             seed,
-            ..Self::default()
         }
     }
 
@@ -116,9 +115,12 @@ pub fn generate(config: &GeneratorConfig) -> DiGraph {
         TopologyKind::Ring => ring(config.peers),
         TopologyKind::ErdosRenyi => erdos_renyi(config.peers, config.probability, &mut rng),
         TopologyKind::ScaleFree => scale_free(config.peers, config.attachment.max(1), &mut rng),
-        TopologyKind::ClusteredSmallWorld => {
-            small_world(config.peers, config.attachment.max(1), config.probability, &mut rng)
-        }
+        TopologyKind::ClusteredSmallWorld => small_world(
+            config.peers,
+            config.attachment.max(1),
+            config.probability,
+            &mut rng,
+        ),
     }
 }
 
@@ -209,7 +211,9 @@ fn small_world(n: usize, k: usize, rewire: f64, rng: &mut StdRng) -> DiGraph {
                 loop {
                     let candidate = rng.gen_range(0..n);
                     guard += 1;
-                    if candidate != i && (g.find_edge(NodeId(i), NodeId(candidate)).is_none() || guard > 20) {
+                    if candidate != i
+                        && (g.find_edge(NodeId(i), NodeId(candidate)).is_none() || guard > 20)
+                    {
                         j = candidate;
                         break;
                     }

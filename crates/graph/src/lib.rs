@@ -32,12 +32,14 @@ pub mod traversal;
 
 pub use adjacency::{DiGraph, EdgeId, EdgeRef, NodeId};
 pub use components::{condensation_edges, strongly_connected_components, Condensation};
-pub use cycles::{enumerate_cycles, enumerate_undirected_cycles, Cycle, CycleKind};
+pub use cycles::{
+    cycles_through_edge, enumerate_cycles, enumerate_undirected_cycles, Cycle, CycleKind,
+};
 pub use generators::{GeneratorConfig, TopologyKind};
 pub use loops::{
     degree_stats, distance_stats, hop_distances, loop_census, DegreeStats, DistanceStats,
     LoopCensus,
 };
 pub use metrics::{clustering_coefficient, degree_distribution, GraphMetrics};
-pub use paths::{enumerate_parallel_paths, ParallelPaths};
+pub use paths::{enumerate_parallel_paths, parallel_paths_through_edge, ParallelPaths};
 pub use traversal::{bfs_order, connected_components, flood, FloodRecord};

@@ -102,7 +102,10 @@ pub fn degree_stats(graph: &DiGraph) -> DegreeStats {
         histogram[d] += 1;
     }
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
-    let hubs = degrees.iter().filter(|&&d| (d as f64) >= 2.0 * mean && d > 0).count();
+    let hubs = degrees
+        .iter()
+        .filter(|&&d| (d as f64) >= 2.0 * mean && d > 0)
+        .count();
     DegreeStats {
         histogram,
         mean,
@@ -159,7 +162,10 @@ pub fn distance_stats(graph: &DiGraph, directed: bool) -> DistanceStats {
     let mut total = 0usize;
     let mut pairs = 0usize;
     for origin in graph.nodes() {
-        for (i, d) in hop_distances(graph, origin, directed).into_iter().enumerate() {
+        for (i, d) in hop_distances(graph, origin, directed)
+            .into_iter()
+            .enumerate()
+        {
             if i == origin.0 {
                 continue;
             }
@@ -172,7 +178,11 @@ pub fn distance_stats(graph: &DiGraph, directed: bool) -> DistanceStats {
     }
     DistanceStats {
         diameter,
-        mean_path_length: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        mean_path_length: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
         reachable_pairs: pairs,
     }
 }

@@ -51,7 +51,11 @@ impl ParallelPaths {
 /// Enumerates all simple directed paths from `source` of length `1..=max_len`.
 ///
 /// Returns `(destination, edge path)` tuples. Paths do not revisit nodes.
-pub fn simple_paths_from(graph: &DiGraph, source: NodeId, max_len: usize) -> Vec<(NodeId, Vec<EdgeId>)> {
+pub fn simple_paths_from(
+    graph: &DiGraph,
+    source: NodeId,
+    max_len: usize,
+) -> Vec<(NodeId, Vec<EdgeId>)> {
     let mut out = Vec::new();
     if !graph.contains_node(source) || max_len == 0 {
         return out;
@@ -95,9 +99,22 @@ fn paths_rec(
 /// shared mapping. Paths of length 1 (a direct mapping) are allowed — comparing a direct
 /// mapping with a two-hop route is exactly the `f3⇒ : m21 ∥ m24→m41` case of Figure 5.
 pub fn enumerate_parallel_paths(graph: &DiGraph, max_len: usize) -> Vec<ParallelPaths> {
+    collect_parallel_paths(graph, graph.nodes(), max_len, None)
+}
+
+/// The shared pairing core of [`enumerate_parallel_paths`] and
+/// [`parallel_paths_through_edge`]: both entry points must group, pair, filter and
+/// deduplicate identically — the incremental/batch equivalence of the evidence
+/// analysis depends on it — so the rules live in exactly one place.
+fn collect_parallel_paths(
+    graph: &DiGraph,
+    sources: impl Iterator<Item = NodeId>,
+    max_len: usize,
+    required_edge: Option<EdgeId>,
+) -> Vec<ParallelPaths> {
     let mut found = Vec::new();
     let mut seen: HashSet<(NodeId, NodeId, Vec<EdgeId>, Vec<EdgeId>)> = HashSet::new();
-    for source in graph.nodes() {
+    for source in sources {
         let paths = simple_paths_from(graph, source, max_len);
         // Group by destination.
         let mut by_dest: std::collections::HashMap<NodeId, Vec<&Vec<EdgeId>>> =
@@ -113,6 +130,11 @@ pub fn enumerate_parallel_paths(graph: &DiGraph, max_len: usize) -> Vec<Parallel
                 for j in (i + 1)..group.len() {
                     let a = group[i];
                     let b = group[j];
+                    if let Some(edge) = required_edge {
+                        if !a.contains(&edge) && !b.contains(&edge) {
+                            continue;
+                        }
+                    }
                     if a.iter().any(|e| b.contains(e)) {
                         continue; // must be edge-disjoint
                     }
@@ -131,6 +153,50 @@ pub fn enumerate_parallel_paths(graph: &DiGraph, max_len: usize) -> Vec<Parallel
         }
     }
     found
+}
+
+/// Enumerates the parallel-path pairs in which at least one branch uses `edge`.
+///
+/// This is the parallel-path counterpart of
+/// [`crate::cycles::cycles_through_edge`]: when a mapping is added to the network,
+/// the evidence it creates is exactly the pairs through its edge, so incremental
+/// maintenance only searches from the sources that can reach the edge at all
+/// (bounded reverse reachability) instead of from every node. Pairs not using
+/// `edge` are filtered out; deduplication matches [`enumerate_parallel_paths`].
+pub fn parallel_paths_through_edge(
+    graph: &DiGraph,
+    edge: EdgeId,
+    max_len: usize,
+) -> Vec<ParallelPaths> {
+    let Some(edge_ref) = graph.edge(edge) else {
+        return Vec::new();
+    };
+    if max_len == 0 {
+        return Vec::new();
+    }
+    // Sources that can reach the edge's source within max_len - 1 hops (the edge
+    // itself consumes one hop of the branch that uses it).
+    let mut frontier = vec![edge_ref.source];
+    let mut reachable = vec![false; graph.node_count()];
+    reachable[edge_ref.source.0] = true;
+    for _ in 0..max_len.saturating_sub(1) {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for e in graph.incoming(node) {
+                if !reachable[e.source.0] {
+                    reachable[e.source.0] = true;
+                    next.push(e.source);
+                }
+            }
+        }
+        frontier = next;
+    }
+    collect_parallel_paths(
+        graph,
+        graph.nodes().filter(|n| reachable[n.0]),
+        max_len,
+        Some(edge),
+    )
 }
 
 #[cfg(test)]
@@ -216,6 +282,34 @@ mod tests {
         let pps = enumerate_parallel_paths(&g, 2);
         assert_eq!(pps.len(), 1);
         assert_eq!(pps[0].mapping_count(), 2);
+    }
+
+    #[test]
+    fn parallel_paths_through_edge_match_filtered_enumeration() {
+        let (g, m) = paper_figure5();
+        for &edge in &m {
+            for max_len in 1..=4 {
+                let mut targeted: Vec<_> = parallel_paths_through_edge(&g, edge, max_len)
+                    .iter()
+                    .map(ParallelPaths::canonical_key)
+                    .collect();
+                let mut filtered: Vec<_> = enumerate_parallel_paths(&g, max_len)
+                    .iter()
+                    .filter(|pp| pp.contains_edge(edge))
+                    .map(ParallelPaths::canonical_key)
+                    .collect();
+                targeted.sort();
+                filtered.sort();
+                assert_eq!(targeted, filtered, "edge {edge} max_len {max_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_paths_through_removed_edge_are_empty() {
+        let (mut g, m) = paper_figure5();
+        g.remove_edge(m[5]);
+        assert!(parallel_paths_through_edge(&g, m[5], 3).is_empty());
     }
 
     #[test]

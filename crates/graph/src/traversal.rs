@@ -98,7 +98,16 @@ pub fn flood(graph: &DiGraph, origin: NodeId, ttl: usize, directed: bool) -> Vec
     let mut path: Vec<EdgeId> = Vec::new();
     let mut on_path = vec![false; graph.node_count()];
     on_path[origin.0] = true;
-    flood_rec(graph, origin, origin, ttl, directed, &mut path, &mut on_path, &mut records);
+    flood_rec(
+        graph,
+        origin,
+        origin,
+        ttl,
+        directed,
+        &mut path,
+        &mut on_path,
+        &mut records,
+    );
     records
 }
 
@@ -117,10 +126,7 @@ fn flood_rec(
         return;
     }
     let hops: Vec<(EdgeId, NodeId)> = if directed {
-        graph
-            .outgoing(current)
-            .map(|e| (e.id, e.target))
-            .collect()
+        graph.outgoing(current).map(|e| (e.id, e.target)).collect()
     } else {
         graph
             .outgoing(current)
@@ -144,7 +150,16 @@ fn flood_rec(
         });
         if next != origin {
             on_path[next.0] = true;
-            flood_rec(graph, origin, next, ttl - 1, directed, path, on_path, records);
+            flood_rec(
+                graph,
+                origin,
+                next,
+                ttl - 1,
+                directed,
+                path,
+                on_path,
+                records,
+            );
             on_path[next.0] = false;
         }
         path.pop();

@@ -116,7 +116,10 @@ impl Payload {
     /// True for the messages that exist only because of the inference scheme (used to
     /// measure the communication overhead the paper discusses in Section 4.3.1).
     pub fn is_overhead(&self) -> bool {
-        matches!(self, Payload::Belief(_) | Payload::Probe { .. } | Payload::ProbeReply { .. })
+        matches!(
+            self,
+            Payload::Belief(_) | Payload::Probe { .. } | Payload::ProbeReply { .. }
+        )
     }
 }
 

@@ -161,31 +161,41 @@ mod tests {
         let logic: Vec<Closure> = (0..n)
             .map(|i| {
                 let next = PeerId((i + 1) % n);
-                Box::new(move |_peer: PeerId, _round: u64, inbox: &[Envelope], outbox: &mut Outbox| {
-                    for env in inbox {
-                        if let Payload::Probe { token, origin, path, ttl } = &env.payload {
-                            if *ttl > 0 {
-                                outbox.send(
-                                    next,
-                                    Payload::Probe {
-                                        token: *token,
-                                        origin: *origin,
-                                        path: path.clone(),
-                                        ttl: ttl - 1,
-                                    },
-                                );
+                Box::new(
+                    move |_peer: PeerId, _round: u64, inbox: &[Envelope], outbox: &mut Outbox| {
+                        for env in inbox {
+                            if let Payload::Probe {
+                                token,
+                                origin,
+                                path,
+                                ttl,
+                            } = &env.payload
+                            {
+                                if *ttl > 0 {
+                                    outbox.send(
+                                        next,
+                                        Payload::Probe {
+                                            token: *token,
+                                            origin: *origin,
+                                            path: path.clone(),
+                                            ttl: ttl - 1,
+                                        },
+                                    );
+                                }
                             }
                         }
-                    }
-                }) as Closure
+                    },
+                ) as Closure
             })
             .collect();
         let mut sim = Simulator::new(logic, SimulatorConfig::default());
         sim.inject(PeerId(2), PeerId(0), probe(PeerId(2), 5));
         let rounds = sim.run_until_quiescent(50);
         // TTL 5 -> the probe makes 5 forwarding hops after the initial delivery.
-        assert!(rounds >= 6 && rounds <= 10, "rounds {rounds}");
-        let total_received: u64 = (0..n).map(|i| sim.peer_state(PeerId(i)).received_total).sum();
+        assert!((6..=10).contains(&rounds), "rounds {rounds}");
+        let total_received: u64 = (0..n)
+            .map(|i| sim.peer_state(PeerId(i)).received_total)
+            .sum();
         assert_eq!(total_received, 6);
     }
 
@@ -216,7 +226,9 @@ mod tests {
     fn lossy_transport_reduces_deliveries() {
         let mk = || -> Vec<Closure> {
             (0..2)
-                .map(|_| Box::new(|_: PeerId, _: u64, _: &[Envelope], _: &mut Outbox| {}) as Closure)
+                .map(|_| {
+                    Box::new(|_: PeerId, _: u64, _: &[Envelope], _: &mut Outbox| {}) as Closure
+                })
                 .collect()
         };
         let mut lossless = Simulator::new(mk(), SimulatorConfig::default());

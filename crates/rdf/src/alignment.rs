@@ -46,7 +46,12 @@ impl AlignmentDoc {
     }
 
     /// Adds an equivalence cell.
-    pub fn add_cell(&mut self, entity1: impl Into<String>, entity2: impl Into<String>, measure: f64) {
+    pub fn add_cell(
+        &mut self,
+        entity1: impl Into<String>,
+        entity2: impl Into<String>,
+        measure: f64,
+    ) {
         self.cells.push(AlignmentCell {
             entity1: entity1.into(),
             entity2: entity2.into(),
@@ -120,7 +125,9 @@ fn parse_cell(cell: &XmlElement) -> Result<AlignmentCell, RdfError> {
         } else {
             let text = element.text();
             if text.is_empty() {
-                Err(RdfError::Structure(format!("<{name}> carries no entity reference")))
+                Err(RdfError::Structure(format!(
+                    "<{name}> carries no entity reference"
+                )))
             } else {
                 Ok(text)
             }
@@ -141,7 +148,9 @@ fn parse_cell(cell: &XmlElement) -> Result<AlignmentCell, RdfError> {
         None => 1.0,
     };
     if !(0.0..=1.0).contains(&measure) {
-        return Err(RdfError::Structure(format!("measure {measure} outside [0, 1]")));
+        return Err(RdfError::Structure(format!(
+            "measure {measure} outside [0, 1]"
+        )));
     }
     Ok(AlignmentCell {
         entity1,
@@ -154,7 +163,10 @@ fn parse_cell(cell: &XmlElement) -> Result<AlignmentCell, RdfError> {
 /// Serialises an alignment document in the KnowledgeWeb alignment format.
 pub fn serialize_alignment(doc: &AlignmentDoc) -> String {
     let mut alignment = XmlElement::new("Alignment")
-        .with_attribute("xmlns", "http://knowledgeweb.semanticweb.org/heterogeneity/alignment")
+        .with_attribute(
+            "xmlns",
+            "http://knowledgeweb.semanticweb.org/heterogeneity/alignment",
+        )
         .with_attribute("xmlns:rdf", vocab::RDF_NS)
         .with_child(XmlElement::new("xml").with_text("yes"))
         .with_child(XmlElement::new("level").with_text("0"))
@@ -163,8 +175,12 @@ pub fn serialize_alignment(doc: &AlignmentDoc) -> String {
         .with_child(XmlElement::new("onto2").with_text(doc.onto2.clone()));
     for cell in &doc.cells {
         let cell_element = XmlElement::new("Cell")
-            .with_child(XmlElement::new("entity1").with_attribute("rdf:resource", cell.entity1.clone()))
-            .with_child(XmlElement::new("entity2").with_attribute("rdf:resource", cell.entity2.clone()))
+            .with_child(
+                XmlElement::new("entity1").with_attribute("rdf:resource", cell.entity1.clone()),
+            )
+            .with_child(
+                XmlElement::new("entity2").with_attribute("rdf:resource", cell.entity2.clone()),
+            )
             .with_child(XmlElement::new("relation").with_text(cell.relation.clone()))
             .with_child(XmlElement::new("measure").with_text(format!("{:.6}", cell.measure)));
         alignment = alignment.with_child(XmlElement::new("map").with_child(cell_element));

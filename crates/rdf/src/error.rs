@@ -90,7 +90,10 @@ impl fmt::Display for ImportError {
                 write!(f, "alignment references unknown ontology `{name}`")
             }
             ImportError::UnknownEntity { ontology, entity } => {
-                write!(f, "alignment references unknown entity `{entity}` in ontology `{ontology}`")
+                write!(
+                    f,
+                    "alignment references unknown entity `{entity}` in ontology `{ontology}`"
+                )
             }
         }
     }

@@ -134,18 +134,20 @@ pub fn import_catalog_with_oracle(
                 skipped_non_equivalence += 1;
                 continue;
             }
-            let source_attr = resolve_entity(&resolution[source.0], &cell.entity1).ok_or_else(|| {
-                ImportError::UnknownEntity {
-                    ontology: source_name.clone(),
-                    entity: cell.entity1.clone(),
-                }
-            })?;
-            let target_attr = resolve_entity(&resolution[target.0], &cell.entity2).ok_or_else(|| {
-                ImportError::UnknownEntity {
-                    ontology: target_name.clone(),
-                    entity: cell.entity2.clone(),
-                }
-            })?;
+            let source_attr =
+                resolve_entity(&resolution[source.0], &cell.entity1).ok_or_else(|| {
+                    ImportError::UnknownEntity {
+                        ontology: source_name.clone(),
+                        entity: cell.entity1.clone(),
+                    }
+                })?;
+            let target_attr =
+                resolve_entity(&resolution[target.0], &cell.entity2).ok_or_else(|| {
+                    ImportError::UnknownEntity {
+                        ontology: target_name.clone(),
+                        entity: cell.entity2.clone(),
+                    }
+                })?;
             resolved.push((
                 source_attr,
                 target_attr,
@@ -263,7 +265,13 @@ pub fn export_catalog(catalog: &Catalog) -> CatalogExport {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -321,16 +329,22 @@ mod tests {
 
     #[test]
     fn import_builds_peers_and_mappings() {
-        let import = import_catalog(&[art_ontology(), winfs_ontology()], &[creator_alignment()]).unwrap();
+        let import =
+            import_catalog(&[art_ontology(), winfs_ontology()], &[creator_alignment()]).unwrap();
         assert_eq!(import.catalog.peer_count(), 2);
         assert_eq!(import.catalog.mapping_count(), 1);
         assert_eq!(import.imported_correspondences, 2);
         let art = import.peer_of_ontology["art"];
         let schema = import.catalog.peer_schema(art);
         assert_eq!(schema.attribute_count(), 3);
-        assert_eq!(schema.attribute_by_name("Creator").unwrap().kind, AttributeKind::Class);
+        assert_eq!(
+            schema.attribute_by_name("Creator").unwrap().kind,
+            AttributeKind::Class
+        );
         // The imported mapping routes Creator to DisplayName.
-        let mapping = import.catalog.mapping(import.mapping_of_alignment[0].unwrap());
+        let mapping = import
+            .catalog
+            .mapping(import.mapping_of_alignment[0].unwrap());
         let creator = schema.attribute_by_name("Creator").unwrap().id;
         let winfs = import.peer_of_ontology["winfs"];
         let target_schema = import.catalog.peer_schema(winfs);
@@ -367,8 +381,13 @@ mod tests {
         let err = import_catalog(&[art_ontology()], &[creator_alignment()]).unwrap_err();
         assert!(matches!(err, ImportError::UnknownOntology(_)));
 
-        let mut bad_entity = AlignmentDoc::new("http://example.org/art", "http://example.org/winfs");
-        bad_entity.add_cell("http://example.org/art#NoSuch", "http://example.org/winfs#Date", 0.5);
+        let mut bad_entity =
+            AlignmentDoc::new("http://example.org/art", "http://example.org/winfs");
+        bad_entity.add_cell(
+            "http://example.org/art#NoSuch",
+            "http://example.org/winfs#Date",
+            0.5,
+        );
         let err = import_catalog(&[art_ontology(), winfs_ontology()], &[bad_entity]).unwrap_err();
         assert!(matches!(err, ImportError::UnknownEntity { .. }));
     }
@@ -385,7 +404,11 @@ mod tests {
     #[test]
     fn alignment_with_no_usable_cell_produces_no_mapping() {
         let mut doc = AlignmentDoc::new("http://example.org/art", "http://example.org/winfs");
-        doc.add_cell("http://example.org/art#Creator", "http://example.org/winfs#DisplayName", 0.9);
+        doc.add_cell(
+            "http://example.org/art#Creator",
+            "http://example.org/winfs#DisplayName",
+            0.9,
+        );
         doc.cells[0].relation = "<".into();
         let import = import_catalog(&[art_ontology(), winfs_ontology()], &[doc]).unwrap();
         assert_eq!(import.catalog.mapping_count(), 0);
@@ -430,7 +453,10 @@ mod tests {
         for mapping_id in catalog.mappings() {
             let original = catalog.mapping(mapping_id);
             let reimported = import.catalog.mapping(mapping_id);
-            assert_eq!(original.correspondence_count(), reimported.correspondence_count());
+            assert_eq!(
+                original.correspondence_count(),
+                reimported.correspondence_count()
+            );
             // Attribute ids line up because both schemas list attributes in the same
             // order, so apply() must give the same answers.
             for (source_attr, correspondence) in original.correspondences() {

@@ -219,10 +219,7 @@ impl RdfGraph {
     /// Subjects whose `rdf:type` is the given class IRI, deduplicated and sorted.
     pub fn subjects_of_type(&self, class_iri: &str) -> Vec<&Term> {
         let class = Term::iri(class_iri);
-        let set: BTreeSet<&Term> = self
-            .subjects(vocab::RDF_TYPE, &class)
-            .into_iter()
-            .collect();
+        let set: BTreeSet<&Term> = self.subjects(vocab::RDF_TYPE, &class).into_iter().collect();
         set.into_iter().collect()
     }
 
@@ -241,7 +238,11 @@ mod tests {
     fn sample() -> RdfGraph {
         let mut g = RdfGraph::new();
         let creator = Term::iri("http://example.org/art#Creator");
-        g.add(creator.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+        g.add(
+            creator.clone(),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_CLASS),
+        );
         g.add(creator.clone(), vocab::RDFS_LABEL, Term::literal("Creator"));
         g.add(
             Term::iri("http://example.org/art#painted"),

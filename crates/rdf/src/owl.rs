@@ -46,9 +46,9 @@ impl Ontology {
 
     /// Finds a concept by IRI or by local name.
     pub fn concept(&self, reference: &str) -> Option<&OwlConcept> {
-        self.concepts
-            .iter()
-            .find(|c| c.iri == reference || c.name == reference || c.name == iri_local_name(reference))
+        self.concepts.iter().find(|c| {
+            c.iri == reference || c.name == reference || c.name == iri_local_name(reference)
+        })
     }
 }
 
@@ -56,7 +56,10 @@ impl Ontology {
 ///
 /// `fallback_name` is used when the document declares no `owl:Ontology` node.
 pub fn extract_ontology(graph: &RdfGraph, fallback_name: &str) -> Result<Ontology, RdfError> {
-    let ontology_node = graph.subjects_of_type(vocab::OWL_ONTOLOGY).into_iter().next();
+    let ontology_node = graph
+        .subjects_of_type(vocab::OWL_ONTOLOGY)
+        .into_iter()
+        .next();
     let base_iri = ontology_node.and_then(|t| t.as_iri()).map(str::to_string);
     let name = base_iri
         .as_deref()
@@ -87,7 +90,9 @@ pub fn extract_ontology(graph: &RdfGraph, fallback_name: &str) -> Result<Ontolog
         if name.is_empty() || concepts.iter().any(|c| c.iri == iri) {
             continue;
         }
-        let label = graph.literal(&triple.subject, vocab::RDFS_LABEL).map(str::to_string);
+        let label = graph
+            .literal(&triple.subject, vocab::RDFS_LABEL)
+            .map(str::to_string);
         concepts.push(OwlConcept {
             iri: iri.to_string(),
             name,
@@ -129,7 +134,11 @@ pub fn schema_to_rdf(schema: &Schema) -> RdfGraph {
             AttributeKind::Property => vocab::OWL_OBJECT_PROPERTY,
             _ => vocab::OWL_CLASS,
         };
-        graph.add(Term::iri(iri.clone()), vocab::RDF_TYPE, Term::iri(class_iri));
+        graph.add(
+            Term::iri(iri.clone()),
+            vocab::RDF_TYPE,
+            Term::iri(class_iri),
+        );
         graph.add(
             Term::iri(iri),
             vocab::RDFS_LABEL,
@@ -154,14 +163,23 @@ pub fn catalog_to_owl_xml(catalog: &Catalog) -> Vec<(PeerId, String)> {
 
 /// The base IRI used when exporting a schema.
 pub fn schema_base_iri(schema_name: &str) -> String {
-    format!("http://pdms.example.org/{}#", sanitize_local_name(schema_name))
+    format!(
+        "http://pdms.example.org/{}#",
+        sanitize_local_name(schema_name)
+    )
 }
 
 /// Replaces characters that cannot appear in an IRI fragment.
 fn sanitize_local_name(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "_".to_string()
@@ -195,9 +213,17 @@ mod tests {
         let publication = ontology.concept("Publication").unwrap();
         assert_eq!(publication.kind, AttributeKind::Class);
         assert_eq!(publication.label.as_deref(), Some("publication"));
-        assert_eq!(ontology.concept("author").unwrap().kind, AttributeKind::Property);
-        assert_eq!(ontology.concept("year").unwrap().kind, AttributeKind::Property);
-        assert!(ontology.concept("http://example.org/bibtex-mit#Article").is_some());
+        assert_eq!(
+            ontology.concept("author").unwrap().kind,
+            AttributeKind::Property
+        );
+        assert_eq!(
+            ontology.concept("year").unwrap().kind,
+            AttributeKind::Property
+        );
+        assert!(ontology
+            .concept("http://example.org/bibtex-mit#Article")
+            .is_some());
         assert!(ontology.concept("nothing").is_none());
     }
 
@@ -231,7 +257,10 @@ mod tests {
         assert_eq!(ontology.name, "ArtDatabank");
         assert_eq!(ontology.concept_count(), 4);
         // Labels carry the original names; local names are sanitised.
-        assert!(ontology.concepts.iter().any(|c| c.label.as_deref() == Some("Title/Subtitle")));
+        assert!(ontology
+            .concepts
+            .iter()
+            .any(|c| c.label.as_deref() == Some("Title/Subtitle")));
         assert!(ontology.concept("Title_Subtitle").is_some());
     }
 
@@ -242,8 +271,14 @@ mod tests {
         builder.attribute_with_kind("hasName", AttributeKind::Property);
         let schema = builder.build();
         let ontology = parse_ontology(&schema_to_owl_xml(&schema), "rdfish").unwrap();
-        assert_eq!(ontology.concept("Person").unwrap().kind, AttributeKind::Class);
-        assert_eq!(ontology.concept("hasName").unwrap().kind, AttributeKind::Property);
+        assert_eq!(
+            ontology.concept("Person").unwrap().kind,
+            AttributeKind::Class
+        );
+        assert_eq!(
+            ontology.concept("hasName").unwrap().kind,
+            AttributeKind::Property
+        );
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub fn serialize_rdf_xml(graph: &RdfGraph) -> String {
 
     let mut root = XmlElement::new("rdf:RDF");
     for (ns, prefix) in &namespaces {
-        root.attributes.push((format!("xmlns:{prefix}"), ns.clone()));
+        root.attributes
+            .push((format!("xmlns:{prefix}"), ns.clone()));
     }
 
     // Group triples by subject, preserving first-appearance order.
@@ -225,12 +226,19 @@ fn parse_node_element(
         if name.starts_with("xmlns") || name.starts_with("xml:") {
             continue;
         }
-        if matches!(name.as_str(), "rdf:about" | "rdf:ID" | "rdf:nodeID" | "rdf:datatype") {
+        if matches!(
+            name.as_str(),
+            "rdf:about" | "rdf:ID" | "rdf:nodeID" | "rdf:datatype"
+        ) {
             continue;
         }
         let predicate = scope.expand(name)?;
         if predicate == vocab::RDF_TYPE {
-            graph.add(subject.clone(), vocab::RDF_TYPE, Term::Iri(scope.resolve(value)));
+            graph.add(
+                subject.clone(),
+                vocab::RDF_TYPE,
+                Term::Iri(scope.resolve(value)),
+            );
         } else if !predicate.starts_with(vocab::RDF_NS) {
             graph.add(subject.clone(), predicate, Term::literal(value.clone()));
         }
@@ -307,7 +315,10 @@ mod tests {
         let classes = graph.subjects_of_type(vocab::OWL_CLASS);
         assert_eq!(classes.len(), 2);
         assert_eq!(graph.subjects_of_type(vocab::OWL_OBJECT_PROPERTY).len(), 1);
-        assert_eq!(graph.subjects_of_type(vocab::OWL_DATATYPE_PROPERTY).len(), 1);
+        assert_eq!(
+            graph.subjects_of_type(vocab::OWL_DATATYPE_PROPERTY).len(),
+            1
+        );
         assert_eq!(graph.subjects_of_type(vocab::OWL_ONTOLOGY).len(), 1);
     }
 
@@ -316,7 +327,10 @@ mod tests {
         let graph = parse_rdf_xml(BIB).unwrap();
         let publication = Term::iri("http://example.org/bibtex#Publication");
         let article = Term::iri("http://example.org/bibtex#Article");
-        assert_eq!(graph.literal(&publication, vocab::RDFS_LABEL), Some("publication"));
+        assert_eq!(
+            graph.literal(&publication, vocab::RDFS_LABEL),
+            Some("publication")
+        );
         assert_eq!(
             graph.objects(&article, vocab::RDFS_SUBCLASS_OF),
             vec![&publication]
@@ -394,7 +408,11 @@ mod tests {
         for triple in original.triples() {
             assert!(
                 reparsed
-                    .matching(Some(&triple.subject), Some(&triple.predicate), Some(&triple.object))
+                    .matching(
+                        Some(&triple.subject),
+                        Some(&triple.predicate),
+                        Some(&triple.object)
+                    )
                     .next()
                     .is_some(),
                 "missing triple after round trip: {triple}"
@@ -432,8 +450,8 @@ mod tests {
         let text = serialize_rdf_xml(&graph);
         let reparsed = parse_rdf_xml(&text).unwrap();
         assert_eq!(reparsed.len(), 2);
-        let subjects: Vec<&Term> = reparsed
-            .subjects("http://example.org/align#measure", &Term::literal("0.75"));
+        let subjects: Vec<&Term> =
+            reparsed.subjects("http://example.org/align#measure", &Term::literal("0.75"));
         assert!(matches!(subjects[0], Term::Blank(_)));
     }
 }

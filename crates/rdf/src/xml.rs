@@ -91,8 +91,12 @@ impl XmlElement {
     }
 
     /// All child elements with the given local name.
-    pub fn children_by_local_name<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
-        self.child_elements().filter(move |e| e.local_name() == local)
+    pub fn children_by_local_name<'a>(
+        &'a self,
+        local: &'a str,
+    ) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.child_elements()
+            .filter(move |e| e.local_name() == local)
     }
 
     /// Concatenated text content of the element (direct text children only), trimmed.
@@ -228,7 +232,12 @@ impl<'a> Parser<'a> {
             if self.starts_with("<?") {
                 match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
                     Some(end) => self.pos += end + 2,
-                    None => return Err(XmlError::new(self.pos, "unterminated processing instruction")),
+                    None => {
+                        return Err(XmlError::new(
+                            self.pos,
+                            "unterminated processing instruction",
+                        ))
+                    }
                 }
             } else if self.starts_with("<!--") {
                 match self.bytes[self.pos..].windows(3).position(|w| w == b"-->") {
@@ -393,16 +402,17 @@ fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             other if other.starts_with("#x") || other.starts_with("#X") => {
-                let code = u32::from_str_radix(&other[2..], 16)
-                    .map_err(|_| XmlError::new(offset, format!("bad character reference `&{other};`")))?;
+                let code = u32::from_str_radix(&other[2..], 16).map_err(|_| {
+                    XmlError::new(offset, format!("bad character reference `&{other};`"))
+                })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
                     XmlError::new(offset, format!("invalid character reference `&{other};`"))
                 })?);
             }
             other if other.starts_with('#') => {
-                let code: u32 = other[1..]
-                    .parse()
-                    .map_err(|_| XmlError::new(offset, format!("bad character reference `&{other};`")))?;
+                let code: u32 = other[1..].parse().map_err(|_| {
+                    XmlError::new(offset, format!("bad character reference `&{other};`"))
+                })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
                     XmlError::new(offset, format!("invalid character reference `&{other};`"))
                 })?);
@@ -445,7 +455,8 @@ mod tests {
 
     #[test]
     fn qualified_names_expose_prefix_and_local_part() {
-        let root = parse(r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>"#).unwrap();
+        let root =
+            parse(r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>"#).unwrap();
         assert_eq!(root.local_name(), "RDF");
         assert_eq!(root.prefix(), Some("rdf"));
         assert_eq!(local_part("owl:Class"), "Class");
@@ -496,7 +507,8 @@ mod tests {
             .with_child(
                 XmlElement::new("Cell")
                     .with_child(
-                        XmlElement::new("entity1").with_attribute("rdf:resource", "http://a#Creator"),
+                        XmlElement::new("entity1")
+                            .with_attribute("rdf:resource", "http://a#Creator"),
                     )
                     .with_child(XmlElement::new("measure").with_text("0.87"))
                     .with_child(XmlElement::new("relation").with_text("=")),
@@ -515,7 +527,10 @@ mod tests {
         assert!(text.contains("&quot;quoted&quot;"));
         assert!(text.contains("&lt;tagged&gt;"));
         let reparsed = parse(&text).unwrap();
-        assert_eq!(reparsed.attribute("title"), Some("a \"quoted\" & <tagged> title"));
+        assert_eq!(
+            reparsed.attribute("title"),
+            Some("a \"quoted\" & <tagged> title")
+        );
         assert_eq!(reparsed.text(), "1 < 2 & 3 > 2");
     }
 
@@ -529,7 +544,9 @@ mod tests {
                     .with_attribute("rdf:about", "#Publication")
                     .with_child(XmlElement::new("rdfs:label").with_text("publication")),
             )
-            .with_child(XmlElement::new("owl:ObjectProperty").with_attribute("rdf:about", "#author"));
+            .with_child(
+                XmlElement::new("owl:ObjectProperty").with_attribute("rdf:about", "#author"),
+            );
         let text = serialize(&tree);
         assert_eq!(parse(&text).unwrap(), tree);
     }

@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn normalized_name_strips_punctuation_and_case() {
-        let a = AttributeRef::new(AttributeId(0), "/Author/Display_Name", AttributeKind::Element);
+        let a = AttributeRef::new(
+            AttributeId(0),
+            "/Author/Display_Name",
+            AttributeKind::Element,
+        );
         assert_eq!(a.normalized_name(), "authordisplayname");
     }
 

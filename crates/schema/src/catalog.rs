@@ -21,6 +21,12 @@ impl fmt::Display for PeerId {
 }
 
 /// Registry of peers, schemas and mappings.
+///
+/// Mapping removal is tombstoned: a removed mapping keeps its [`MappingId`] slot (so
+/// identifiers held by analyses, posterior tables and priors stay valid) but stops
+/// appearing in [`Catalog::mappings`] and the derived views. This mirrors the
+/// tombstoned edge removal of the graph crate, keeping mapping ids and topology edge
+/// ids aligned across network evolution.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     peer_names: Vec<String>,
@@ -28,6 +34,7 @@ pub struct Catalog {
     schemas: Vec<Schema>,
     mappings: Vec<Mapping>,
     mapping_endpoints: Vec<(PeerId, PeerId)>,
+    removed: Vec<bool>,
     by_endpoints: BTreeMap<(PeerId, PeerId), Vec<MappingId>>,
 }
 
@@ -38,7 +45,11 @@ impl Catalog {
     }
 
     /// Registers a schema built by the given closure and returns its id.
-    pub fn add_schema(&mut self, name: impl Into<String>, build: impl FnOnce(&mut SchemaBuilder)) -> SchemaId {
+    pub fn add_schema(
+        &mut self,
+        name: impl Into<String>,
+        build: impl FnOnce(&mut SchemaBuilder),
+    ) -> SchemaId {
         let id = SchemaId(self.schemas.len());
         let mut builder = SchemaBuilder::new(id, name);
         build(&mut builder);
@@ -81,11 +92,37 @@ impl Catalog {
         assert!(source.0 < self.peer_names.len(), "unknown peer {source}");
         assert!(target.0 < self.peer_names.len(), "unknown peer {target}");
         let id = MappingId(self.mappings.len());
-        let builder = MappingBuilder::new(id, self.peer_schemas[source.0], self.peer_schemas[target.0]);
+        let builder =
+            MappingBuilder::new(id, self.peer_schemas[source.0], self.peer_schemas[target.0]);
         self.mappings.push(build(builder).build());
         self.mapping_endpoints.push((source, target));
-        self.by_endpoints.entry((source, target)).or_default().push(id);
+        self.removed.push(false);
+        self.by_endpoints
+            .entry((source, target))
+            .or_default()
+            .push(id);
         id
+    }
+
+    /// Removes a mapping (tombstoned: the id slot survives so other identifiers stay
+    /// stable). Returns `false` when the mapping was already removed or never existed.
+    pub fn remove_mapping(&mut self, id: MappingId) -> bool {
+        match self.removed.get_mut(id.0) {
+            Some(removed) if !*removed => {
+                *removed = true;
+                let endpoints = self.mapping_endpoints[id.0];
+                if let Some(ids) = self.by_endpoints.get_mut(&endpoints) {
+                    ids.retain(|m| *m != id);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when the mapping id refers to a removed (tombstoned) mapping.
+    pub fn is_mapping_removed(&self, id: MappingId) -> bool {
+        self.removed.get(id.0).copied().unwrap_or(false)
     }
 
     /// Number of peers.
@@ -93,8 +130,14 @@ impl Catalog {
         self.peer_names.len()
     }
 
-    /// Number of mappings.
+    /// Number of live mappings.
     pub fn mapping_count(&self) -> usize {
+        self.removed.iter().filter(|r| !**r).count()
+    }
+
+    /// Number of mapping id slots ever allocated, including tombstones. Topology
+    /// builders iterate slots so graph edge ids mirror mapping ids exactly.
+    pub fn mapping_slot_count(&self) -> usize {
         self.mappings.len()
     }
 
@@ -134,9 +177,11 @@ impl Catalog {
         &mut self.mappings[id.0]
     }
 
-    /// All mapping ids.
-    pub fn mappings(&self) -> impl Iterator<Item = MappingId> {
-        (0..self.mappings.len()).map(MappingId)
+    /// All live mapping ids.
+    pub fn mappings(&self) -> impl Iterator<Item = MappingId> + '_ {
+        (0..self.mappings.len())
+            .filter(|i| !self.removed[*i])
+            .map(MappingId)
     }
 
     /// Source and target peer of a mapping.
@@ -166,7 +211,8 @@ impl Catalog {
             .unwrap_or(&[])
     }
 
-    /// Edge list `(mapping, source peer, target peer)` for building a topology graph.
+    /// Edge list `(mapping, source peer, target peer)` over the live mappings, for
+    /// building a topology graph.
     pub fn edge_list(&self) -> Vec<(MappingId, PeerId, PeerId)> {
         self.mappings()
             .map(|m| {
@@ -176,9 +222,12 @@ impl Catalog {
             .collect()
     }
 
-    /// Number of mappings whose ground truth says they are (at least partly) erroneous.
+    /// Number of live mappings whose ground truth says they are (at least partly)
+    /// erroneous.
     pub fn erroneous_mapping_count(&self) -> usize {
-        self.mappings.iter().filter(|m| !m.is_correct()).count()
+        self.mappings()
+            .filter(|m| !self.mappings[m.0].is_correct())
+            .count()
     }
 }
 
@@ -200,8 +249,11 @@ mod tests {
                 .correct(AttributeId(1), AttributeId(1))
         });
         cat.add_mapping(p1, p0, |m| {
-            m.correct(AttributeId(0), AttributeId(0))
-                .erroneous(AttributeId(1), AttributeId(2), AttributeId(1))
+            m.correct(AttributeId(0), AttributeId(0)).erroneous(
+                AttributeId(1),
+                AttributeId(2),
+                AttributeId(1),
+            )
         });
         cat
     }
@@ -246,6 +298,35 @@ mod tests {
     fn mapping_with_unknown_peer_panics() {
         let mut cat = tiny_catalog();
         cat.add_mapping(PeerId(0), PeerId(9), |m| m);
+    }
+
+    #[test]
+    fn removal_is_tombstoned_and_keeps_ids_stable() {
+        let mut cat = tiny_catalog();
+        assert!(cat.remove_mapping(MappingId(0)));
+        assert!(
+            !cat.remove_mapping(MappingId(0)),
+            "double removal is a no-op"
+        );
+        assert!(cat.is_mapping_removed(MappingId(0)));
+        assert_eq!(cat.mapping_count(), 1);
+        assert_eq!(cat.mapping_slot_count(), 2);
+        assert_eq!(cat.mappings().collect::<Vec<_>>(), vec![MappingId(1)]);
+        assert!(cat.mappings_between(PeerId(0), PeerId(1)).is_empty());
+        assert!(cat.outgoing_mappings(PeerId(0)).is_empty());
+        assert_eq!(cat.edge_list().len(), 1);
+        // The tombstoned slot still answers lookups (posterior tables may hold its id).
+        assert_eq!(cat.mapping_endpoints(MappingId(0)), (PeerId(0), PeerId(1)));
+        // The erroneous mapping is still counted; removing it clears the count.
+        assert_eq!(cat.erroneous_mapping_count(), 1);
+        assert!(cat.remove_mapping(MappingId(1)));
+        assert_eq!(cat.erroneous_mapping_count(), 0);
+        // New mappings allocate fresh slots after the tombstones.
+        let id = cat.add_mapping(PeerId(0), PeerId(1), |m| {
+            m.correct(AttributeId(0), AttributeId(0))
+        });
+        assert_eq!(id, MappingId(2));
+        assert_eq!(cat.mapping_count(), 1);
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl Document {
 
     /// All values of an attribute (empty slice when absent).
     pub fn get(&self, attribute: AttributeId) -> &[Value] {
-        self.values.get(&attribute).map(Vec::as_slice).unwrap_or(&[])
+        self.values
+            .get(&attribute)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// First value of an attribute, if any.

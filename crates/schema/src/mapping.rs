@@ -96,19 +96,26 @@ impl Mapping {
     ///
     /// Returns `None` when the mapping has no correspondence for the attribute.
     pub fn is_correct_for(&self, attribute: AttributeId) -> Option<bool> {
-        self.correspondences.get(&attribute).map(Correspondence::is_correct)
+        self.correspondences
+            .get(&attribute)
+            .map(Correspondence::is_correct)
     }
 
     /// Ground truth at mapping granularity: a mapping is considered correct when every
     /// correspondence it defines is correct. This is the "coarse granularity" view of
     /// Section 4.1.
     pub fn is_correct(&self) -> bool {
-        self.correspondences.values().all(Correspondence::is_correct)
+        self.correspondences
+            .values()
+            .all(Correspondence::is_correct)
     }
 
     /// Number of incorrect correspondences (for reporting).
     pub fn error_count(&self) -> usize {
-        self.correspondences.values().filter(|c| !c.is_correct()).count()
+        self.correspondences
+            .values()
+            .filter(|c| !c.is_correct())
+            .count()
     }
 
     /// Inserts or replaces a correspondence after construction. This is the mutation

@@ -85,7 +85,8 @@ impl Query {
 
     /// Adds a selection on `attribute`.
     pub fn select(mut self, attribute: AttributeId, predicate: Predicate) -> Self {
-        self.operations.push(Operation::Select(attribute, predicate));
+        self.operations
+            .push(Operation::Select(attribute, predicate));
         self
     }
 

@@ -90,7 +90,11 @@ impl SchemaBuilder {
     /// # Panics
     /// Panics if an attribute with the same name already exists: attribute names are
     /// the join key for mappings and must be unambiguous within one schema.
-    pub fn attribute_with_kind(&mut self, name: impl Into<String>, kind: AttributeKind) -> AttributeId {
+    pub fn attribute_with_kind(
+        &mut self,
+        name: impl Into<String>,
+        kind: AttributeKind,
+    ) -> AttributeId {
         let name = name.into();
         assert!(
             !self.by_name.contains_key(&name),

@@ -178,7 +178,10 @@ mod tests {
         assert!(!report.is_complete());
         // Only the projection survives (attribute 0 -> 0 around the cycle).
         assert_eq!(report.query.len(), 1);
-        assert_eq!(report.query.operations()[0], Operation::Project(AttributeId(0)));
+        assert_eq!(
+            report.query.operations()[0],
+            Operation::Project(AttributeId(0))
+        );
         assert_eq!(
             report.outcome(AttributeId(1)),
             Some(&AttributeOutcome::Dropped { at_step: 1 })

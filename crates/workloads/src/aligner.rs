@@ -80,9 +80,7 @@ pub fn tokenize(name: &str) -> Vec<String> {
     let chars: Vec<char> = name.chars().collect();
     for (i, &c) in chars.iter().enumerate() {
         if c.is_alphanumeric() {
-            let is_camel_boundary = c.is_uppercase()
-                && i > 0
-                && chars[i - 1].is_lowercase();
+            let is_camel_boundary = c.is_uppercase() && i > 0 && chars[i - 1].is_lowercase();
             if is_camel_boundary && !current.is_empty() {
                 tokens.push(std::mem::take(&mut current));
             }
@@ -117,8 +115,16 @@ pub fn token_similarity(a: &str, b: &str) -> f64 {
 
 /// Combined similarity between two attribute names.
 pub fn name_similarity(a: &str, b: &str, config: &AlignerConfig) -> f64 {
-    let normalized_a: String = a.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
-    let normalized_b: String = b.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
+    let normalized_a: String = a
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .collect::<String>()
+        .to_lowercase();
+    let normalized_b: String = b
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .collect::<String>()
+        .to_lowercase();
     let edit = edit_similarity(&normalized_a, &normalized_b);
     let token = token_similarity(a, b);
     (config.edit_weight * edit + (1.0 - config.edit_weight) * token).clamp(0.0, 1.0)
@@ -136,7 +142,11 @@ pub fn align_schemas(source: &Schema, target: &Schema, config: &AlignerConfig) -
             if similarity < config.threshold {
                 continue;
             }
-            if best.as_ref().map(|x| similarity > x.similarity).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|x| similarity > x.similarity)
+                .unwrap_or(true)
+            {
                 best = Some(Alignment {
                     source: a.id,
                     target: b.id,
@@ -175,7 +185,10 @@ mod tests {
     fn tokenizer_splits_camel_and_snake_case() {
         assert_eq!(tokenize("hasAuthorName"), vec!["has", "author", "name"]);
         assert_eq!(tokenize("publication_year"), vec!["publication", "year"]);
-        assert_eq!(tokenize("/Author/DisplayName"), vec!["author", "display", "name"]);
+        assert_eq!(
+            tokenize("/Author/DisplayName"),
+            vec!["author", "display", "name"]
+        );
     }
 
     #[test]

@@ -80,7 +80,9 @@ impl ChurnGenerator {
                     continue;
                 }
                 if correspondence.is_correct() {
-                    if target_size > 1 && self.rng.gen_bool(self.config.corrupt_rate.clamp(0.0, 1.0)) {
+                    if target_size > 1
+                        && self.rng.gen_bool(self.config.corrupt_rate.clamp(0.0, 1.0))
+                    {
                         let mut wrong = self.rng.gen_range(0..target_size - 1);
                         if wrong >= correspondence.target.0 {
                             wrong += 1;
@@ -208,13 +210,22 @@ mod tests {
             ..Default::default()
         });
         let events = noisy.epoch_events(&net.catalog);
-        let corrupts = events.iter().filter(|e| matches!(e, NetworkEvent::Corrupt { .. })).count();
-        let repairs = events.iter().filter(|e| matches!(e, NetworkEvent::Repair { .. })).count();
-        let adds = events.iter().filter(|e| matches!(e, NetworkEvent::AddMapping { .. })).count();
+        let corrupts = events
+            .iter()
+            .filter(|e| matches!(e, NetworkEvent::Corrupt { .. }))
+            .count();
+        let repairs = events
+            .iter()
+            .filter(|e| matches!(e, NetworkEvent::Repair { .. }))
+            .count();
+        let adds = events
+            .iter()
+            .filter(|e| matches!(e, NetworkEvent::AddMapping { .. }))
+            .count();
         assert!(corrupts > 0);
         // Every currently-erroneous correspondence is repaired at rate 1.
         assert_eq!(repairs, net.error_count());
-        assert!(adds >= 1 && adds <= 2);
+        assert!((1..=2).contains(&adds));
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod synthetic;
 
 pub use aligner::{align_schemas, AlignerConfig};
 pub use churn::{ChurnConfig, ChurnGenerator};
-pub use example::{figure4_undirected, figure5_directed, growing_cycle, intro_network, simple_cycle};
+pub use example::{
+    figure4_undirected, figure5_directed, growing_cycle, intro_network, simple_cycle,
+};
 pub use ontology::{generate_ontology_suite, OntologySuite, OntologySuiteConfig};
 pub use scenarios::{Scenario, ScenarioResult};
 pub use srs::{SrsConfig, SrsNetwork};

@@ -25,36 +25,294 @@ use rand::{Rng, SeedableRng};
 /// two BibTeX-flavoured ontologies, and two institutional ontologies with their own
 /// naming conventions.
 const CONCEPTS: &[(&str, [&str; 6])] = &[
-    ("publication", ["publication", "publication", "entry", "bibEntry", "document", "Publikation"]),
-    ("article", ["article", "article", "article", "articleEntry", "journalPaper", "Artikel"]),
-    ("book", ["book", "livre", "book", "bookEntry", "monograph", "Buch"]),
-    ("inproceedings", ["inProceedings", "dansActes", "inproceedings", "confPaper", "conferencePaper", "Konferenzbeitrag"]),
-    ("techreport", ["technicalReport", "rapportTechnique", "techreport", "techRep", "report", "TechnischerBericht"]),
-    ("thesis", ["thesis", "these", "phdthesis", "dissertation", "doctoralThesis", "Dissertation"]),
-    ("proceedings", ["proceedings", "actes", "proceedings", "confProceedings", "conferenceVolume", "Tagungsband"]),
-    ("journal", ["journal", "revue", "journal", "journalName", "periodical", "Zeitschrift"]),
-    ("publisher", ["publisher", "editeur", "publisher", "publisherName", "publishingHouse", "Verlag"]),
-    ("institution", ["institution", "institution", "institution", "institutionName", "organisation", "Institution"]),
-    ("school", ["school", "ecole", "school", "schoolName", "university", "Hochschule"]),
-    ("author", ["author", "auteur", "author", "hasAuthor", "authorName", "Autor"]),
-    ("editor", ["editor", "editeurScientifique", "editor", "hasEditor", "editorName", "Herausgeber"]),
-    ("title", ["title", "titre", "title", "hasTitle", "documentTitle", "Titel"]),
-    ("booktitle", ["bookTitle", "titreLivre", "booktitle", "hasBookTitle", "containerTitle", "Buchtitel"]),
-    ("year", ["year", "annee", "year", "publicationYear", "yearOfPublication", "Jahr"]),
-    ("month", ["month", "mois", "month", "publicationMonth", "monthOfPublication", "Monat"]),
-    ("volume", ["volume", "volume", "volume", "volumeNumber", "vol", "Band"]),
-    ("number", ["number", "numero", "number", "issueNumber", "issue", "Nummer"]),
-    ("pages", ["pages", "pages", "pages", "pageRange", "pageNumbers", "Seiten"]),
-    ("series", ["series", "collection", "series", "seriesTitle", "bookSeries", "Reihe"]),
-    ("edition", ["edition", "edition", "edition", "editionNumber", "editionStatement", "Auflage"]),
-    ("chapter", ["chapter", "chapitre", "chapter", "chapterNumber", "chapterRef", "Kapitel"]),
-    ("address", ["address", "adresse", "address", "publisherAddress", "place", "Adresse"]),
-    ("abstract", ["abstract", "resume", "abstract", "hasAbstract", "abstractText", "Zusammenfassung"]),
-    ("keywords", ["keywords", "motsCles", "keywords", "keywordList", "subjectTerms", "Schlagworte"]),
-    ("note", ["note", "note", "note", "annotation", "remark", "Anmerkung"]),
-    ("url", ["url", "url", "howpublished", "webAddress", "link", "URL"]),
-    ("isbn", ["isbn", "isbn", "isbn", "isbnNumber", "isbnCode", "ISBN"]),
-    ("date", ["date", "date", "date", "publicationDate", "issued", "Datum"]),
+    (
+        "publication",
+        [
+            "publication",
+            "publication",
+            "entry",
+            "bibEntry",
+            "document",
+            "Publikation",
+        ],
+    ),
+    (
+        "article",
+        [
+            "article",
+            "article",
+            "article",
+            "articleEntry",
+            "journalPaper",
+            "Artikel",
+        ],
+    ),
+    (
+        "book",
+        ["book", "livre", "book", "bookEntry", "monograph", "Buch"],
+    ),
+    (
+        "inproceedings",
+        [
+            "inProceedings",
+            "dansActes",
+            "inproceedings",
+            "confPaper",
+            "conferencePaper",
+            "Konferenzbeitrag",
+        ],
+    ),
+    (
+        "techreport",
+        [
+            "technicalReport",
+            "rapportTechnique",
+            "techreport",
+            "techRep",
+            "report",
+            "TechnischerBericht",
+        ],
+    ),
+    (
+        "thesis",
+        [
+            "thesis",
+            "these",
+            "phdthesis",
+            "dissertation",
+            "doctoralThesis",
+            "Dissertation",
+        ],
+    ),
+    (
+        "proceedings",
+        [
+            "proceedings",
+            "actes",
+            "proceedings",
+            "confProceedings",
+            "conferenceVolume",
+            "Tagungsband",
+        ],
+    ),
+    (
+        "journal",
+        [
+            "journal",
+            "revue",
+            "journal",
+            "journalName",
+            "periodical",
+            "Zeitschrift",
+        ],
+    ),
+    (
+        "publisher",
+        [
+            "publisher",
+            "editeur",
+            "publisher",
+            "publisherName",
+            "publishingHouse",
+            "Verlag",
+        ],
+    ),
+    (
+        "institution",
+        [
+            "institution",
+            "institution",
+            "institution",
+            "institutionName",
+            "organisation",
+            "Institution",
+        ],
+    ),
+    (
+        "school",
+        [
+            "school",
+            "ecole",
+            "school",
+            "schoolName",
+            "university",
+            "Hochschule",
+        ],
+    ),
+    (
+        "author",
+        [
+            "author",
+            "auteur",
+            "author",
+            "hasAuthor",
+            "authorName",
+            "Autor",
+        ],
+    ),
+    (
+        "editor",
+        [
+            "editor",
+            "editeurScientifique",
+            "editor",
+            "hasEditor",
+            "editorName",
+            "Herausgeber",
+        ],
+    ),
+    (
+        "title",
+        [
+            "title",
+            "titre",
+            "title",
+            "hasTitle",
+            "documentTitle",
+            "Titel",
+        ],
+    ),
+    (
+        "booktitle",
+        [
+            "bookTitle",
+            "titreLivre",
+            "booktitle",
+            "hasBookTitle",
+            "containerTitle",
+            "Buchtitel",
+        ],
+    ),
+    (
+        "year",
+        [
+            "year",
+            "annee",
+            "year",
+            "publicationYear",
+            "yearOfPublication",
+            "Jahr",
+        ],
+    ),
+    (
+        "month",
+        [
+            "month",
+            "mois",
+            "month",
+            "publicationMonth",
+            "monthOfPublication",
+            "Monat",
+        ],
+    ),
+    (
+        "volume",
+        ["volume", "volume", "volume", "volumeNumber", "vol", "Band"],
+    ),
+    (
+        "number",
+        [
+            "number",
+            "numero",
+            "number",
+            "issueNumber",
+            "issue",
+            "Nummer",
+        ],
+    ),
+    (
+        "pages",
+        [
+            "pages",
+            "pages",
+            "pages",
+            "pageRange",
+            "pageNumbers",
+            "Seiten",
+        ],
+    ),
+    (
+        "series",
+        [
+            "series",
+            "collection",
+            "series",
+            "seriesTitle",
+            "bookSeries",
+            "Reihe",
+        ],
+    ),
+    (
+        "edition",
+        [
+            "edition",
+            "edition",
+            "edition",
+            "editionNumber",
+            "editionStatement",
+            "Auflage",
+        ],
+    ),
+    (
+        "chapter",
+        [
+            "chapter",
+            "chapitre",
+            "chapter",
+            "chapterNumber",
+            "chapterRef",
+            "Kapitel",
+        ],
+    ),
+    (
+        "address",
+        [
+            "address",
+            "adresse",
+            "address",
+            "publisherAddress",
+            "place",
+            "Adresse",
+        ],
+    ),
+    (
+        "abstract",
+        [
+            "abstract",
+            "resume",
+            "abstract",
+            "hasAbstract",
+            "abstractText",
+            "Zusammenfassung",
+        ],
+    ),
+    (
+        "keywords",
+        [
+            "keywords",
+            "motsCles",
+            "keywords",
+            "keywordList",
+            "subjectTerms",
+            "Schlagworte",
+        ],
+    ),
+    (
+        "note",
+        ["note", "note", "note", "annotation", "remark", "Anmerkung"],
+    ),
+    (
+        "url",
+        ["url", "url", "howpublished", "webAddress", "link", "URL"],
+    ),
+    (
+        "isbn",
+        ["isbn", "isbn", "isbn", "isbnNumber", "isbnCode", "ISBN"],
+    ),
+    (
+        "date",
+        ["date", "date", "date", "publicationDate", "issued", "Datum"],
+    ),
 ];
 
 /// Names of the six generated ontologies (mirroring the EON line-up: the reference
@@ -183,7 +441,16 @@ pub fn generate_ontology_suite(config: &OntologySuiteConfig) -> OntologySuite {
                 continue;
             }
             let base = renderings[style.min(renderings.len() - 1)];
-            let rendered = perturb(base, style, &mut rng, if style == 0 { 0.0 } else { config.noise_probability });
+            let rendered = perturb(
+                base,
+                style,
+                &mut rng,
+                if style == 0 {
+                    0.0
+                } else {
+                    config.noise_probability
+                },
+            );
             kept.push((concept_idx, rendered));
         }
         // Guard against duplicate names after perturbation.

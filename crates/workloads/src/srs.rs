@@ -88,6 +88,13 @@ impl SrsNetwork {
             clusters.push((next..next + size).collect());
             next += size;
         }
+        // The draw can leave a trailing cluster below the minimum size (the remainder
+        // of the partition); fold it into the previous cluster so every cluster is a
+        // real community of at least two peers.
+        if clusters.len() > 1 && clusters.last().is_some_and(|c| c.len() < 2) {
+            let tail = clusters.pop().expect("just checked");
+            clusters.last_mut().expect("len > 1").extend(tail);
+        }
 
         let mut graph = DiGraph::with_nodes(config.peers);
         // Dense intra-cluster meshing.
@@ -136,8 +143,12 @@ impl SrsNetwork {
 
         let clustering = clustering_coefficient(&graph);
         let degrees = degree_stats(&graph);
-        let (catalog, injected_errors) =
-            catalog_from_topology(&graph, config.attributes, config.error_rate, config.seed ^ 0x5151);
+        let (catalog, injected_errors) = catalog_from_topology(
+            &graph,
+            config.attributes,
+            config.error_rate,
+            config.seed ^ 0x5151,
+        );
         Self {
             catalog,
             injected_errors,
@@ -196,11 +207,16 @@ mod tests {
             .catalog
             .peers()
             .filter(|p| {
-                let degree = net.catalog.outgoing_mappings(*p).len() + net.catalog.incoming_mappings(*p).len();
+                let degree = net.catalog.outgoing_mappings(*p).len()
+                    + net.catalog.incoming_mappings(*p).len();
                 (degree as f64) <= net.mean_degree * 1.5
             })
             .count();
-        assert!(below * 10 >= net.catalog.peer_count() * 6, "{below} of {} below 1.5×mean", net.catalog.peer_count());
+        assert!(
+            below * 10 >= net.catalog.peer_count() * 6,
+            "{below} of {} below 1.5×mean",
+            net.catalog.peer_count()
+        );
     }
 
     #[test]
@@ -241,7 +257,10 @@ mod tests {
             ..Default::default()
         });
         assert_ne!(a.catalog.mapping_count(), 0);
-        assert!(a.catalog.mapping_count() != c.catalog.mapping_count() || a.injected_errors != c.injected_errors);
+        assert!(
+            a.catalog.mapping_count() != c.catalog.mapping_count()
+                || a.injected_errors != c.injected_errors
+        );
     }
 
     #[test]

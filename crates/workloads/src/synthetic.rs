@@ -175,7 +175,13 @@ mod tests {
         });
         let rate = net.effective_error_rate();
         assert!((rate - 0.2).abs() < 0.06, "effective error rate {rate}");
-        assert_eq!(net.error_count(), net.catalog.mappings().map(|m| net.catalog.mapping(m).error_count()).sum::<usize>());
+        assert_eq!(
+            net.error_count(),
+            net.catalog
+                .mappings()
+                .map(|m| net.catalog.mapping(m).error_count())
+                .sum::<usize>()
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ fn main() {
     let analysis = CycleAnalysis::analyze(&catalog, &AnalysisConfig::default());
     let (positive, negative, neutral) = analysis.feedback_counts();
     println!("evidence paths discovered: {}", analysis.evidences.len());
-    println!("feedback observations: {positive} positive, {negative} negative, {neutral} neutral\n");
+    println!(
+        "feedback observations: {positive} positive, {negative} negative, {neutral} neutral\n"
+    );
 
     // --- Decentralized message passing over a lossy network ------------------------
     let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, 0.1);
@@ -46,7 +48,10 @@ fn main() {
     println!("decentralized run over the simulator (20% message loss):");
     for (index, key) in model.variables.iter().enumerate() {
         if key.attribute == Some(CREATOR) {
-            println!("  P({} correct for Creator) = {:.3}", key.mapping, posteriors[index]);
+            println!(
+                "  P({} correct for Creator) = {:.3}",
+                key.mapping, posteriors[index]
+            );
         }
     }
     println!("{}", run.stats().summary());

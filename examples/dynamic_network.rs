@@ -40,7 +40,15 @@ fn main() {
 
     println!(
         "\n{:>5} {:>7} {:>9} {:>7} {:>9} {:>10} {:>10} {:>7} {:>9}",
-        "epoch", "events", "mappings", "errors", "evidence", "precision", "recall", "drift", "msgs/rnd"
+        "epoch",
+        "events",
+        "mappings",
+        "errors",
+        "evidence",
+        "precision",
+        "recall",
+        "drift",
+        "msgs/rnd"
     );
     for epoch in 0..8 {
         // Epoch 0 assesses the initial network; later epochs first apply churn.

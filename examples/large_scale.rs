@@ -56,7 +56,10 @@ fn main() {
     );
 
     println!("\ndetection quality vs. threshold:");
-    println!("{:>8} {:>10} {:>8} {:>6} {:>9}", "theta", "precision", "recall", "f1", "flagged");
+    println!(
+        "{:>8} {:>10} {:>8} {:>6} {:>9}",
+        "theta", "precision", "recall", "f1", "flagged"
+    );
     for theta in [0.2, 0.3, 0.4, 0.5, 0.6] {
         let eval = precision_recall(engine.catalog(), &report.posteriors, theta);
         println!(

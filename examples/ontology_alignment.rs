@@ -18,7 +18,11 @@ fn main() {
     );
     for peer in suite.catalog.peers() {
         let schema = suite.catalog.peer_schema(peer);
-        println!("  {:<14} {} concepts", schema.name(), schema.attribute_count());
+        println!(
+            "  {:<14} {} concepts",
+            schema.name(),
+            schema.attribute_count()
+        );
     }
 
     let mut engine = Engine::new(
@@ -48,7 +52,10 @@ fn main() {
     );
 
     println!("\nprecision / recall of erroneous-correspondence detection:");
-    println!("{:>8} {:>10} {:>8} {:>9}", "theta", "precision", "recall", "flagged");
+    println!(
+        "{:>8} {:>10} {:>8} {:>9}",
+        "theta", "precision", "recall", "flagged"
+    );
     for theta in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
         let eval = precision_recall(engine.catalog(), &report.posteriors, theta);
         println!(

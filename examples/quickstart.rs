@@ -1,8 +1,9 @@
-//! Quickstart: build a tiny PDMS, detect the faulty mapping, route a query around it.
+//! Quickstart: build a tiny PDMS session, detect the faulty mapping, route a query
+//! around it, then watch the session absorb a network change incrementally.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use pdms::core::{Engine, EngineConfig, RoutingPolicy};
+use pdms::core::{Engine, Granularity, NetworkEvent, RoutingPolicy};
 use pdms::schema::{AttributeId, Catalog, PeerId, Predicate, Query};
 
 fn main() {
@@ -11,8 +12,17 @@ fn main() {
     //    peer brings its own schema and mappings connect semantically similar
     //    attributes.
     let attribute_names = [
-        "Creator", "Item", "CreatedOn", "Title", "Subject", "Medium", "Height", "Width",
-        "Location", "Owner", "Licence",
+        "Creator",
+        "Item",
+        "CreatedOn",
+        "Title",
+        "Subject",
+        "Medium",
+        "Height",
+        "Width",
+        "Location",
+        "Owner",
+        "Licence",
     ];
     let mut catalog = Catalog::new();
     let peers: Vec<PeerId> = (1..=4)
@@ -35,7 +45,7 @@ fn main() {
     catalog.add_mapping(peers[1], peers[2], all_correct); // m23
     catalog.add_mapping(peers[2], peers[3], all_correct); // m34
     catalog.add_mapping(peers[3], peers[0], all_correct); // m41
-    // m24 was generated automatically and erroneously maps Creator onto CreatedOn.
+                                                          // m24 was generated automatically and erroneously maps Creator onto CreatedOn.
     catalog.add_mapping(peers[1], peers[3], |mut m| {
         m = m.erroneous(creator, created_on, creator);
         for a in 1..attribute_names.len() {
@@ -44,30 +54,46 @@ fn main() {
         m
     });
 
-    // 2. Run the probabilistic message-passing engine: it discovers mapping cycles and
-    //    parallel paths, turns the feedback into a factor graph, and estimates the
-    //    probability that each mapping preserves each attribute.
-    let mut engine = Engine::new(catalog, EngineConfig::default());
-    let report = engine.run();
-    println!("converged after {} rounds (delta = {:.2})\n", report.rounds, report.delta);
+    // 2. Build an engine session. The builder chooses the paper's defaults (fine
+    //    granularity, embedded message passing, Δ estimated from the schema sizes);
+    //    `.backend(..)` would swap in exact inference or a custom implementation of
+    //    the `InferenceBackend` trait. Building runs the full pipeline once: cycle and
+    //    parallel-path discovery, factor-graph construction, and message passing.
+    let mut session = Engine::builder()
+        .granularity(Granularity::Fine)
+        .build(catalog);
+    println!(
+        "backend `{}` converged after {} rounds (delta = {:.2})\n",
+        session.backend_name(),
+        session.rounds(),
+        session.delta()
+    );
     println!("posterior P(mapping preserves Creator):");
-    for mapping in engine.catalog().mappings() {
-        let (from, to) = engine.catalog().mapping_endpoints(mapping);
-        let p = report.posteriors.probability(engine.catalog(), mapping, creator);
+    for mapping in session.catalog().mappings().collect::<Vec<_>>() {
+        let (from, to) = session.catalog().mapping_endpoints(mapping);
+        let p = session
+            .posteriors()
+            .probability(session.catalog(), mapping, creator);
         println!(
             "  {} -> {}  {mapping}: {p:.3}{}",
-            engine.catalog().peer_name(from),
-            engine.catalog().peer_name(to),
-            if p < 0.5 { "   <-- flagged as faulty" } else { "" }
+            session.catalog().peer_name(from),
+            session.catalog().peer_name(to),
+            if p < 0.5 {
+                "   <-- flagged as faulty"
+            } else {
+                ""
+            }
         );
     }
 
     // 3. Pose the introductory query at p2 ("names of all artists having created a
-    //    piece of work related to some river") and let the posteriors steer routing.
+    //    piece of work related to some river") and let the cached posteriors steer
+    //    routing. `route_all` answers a whole workload against one posterior
+    //    snapshot — no per-query recomputation.
     let query = Query::new()
         .project(creator)
         .select(item, Predicate::Contains("river".into()));
-    let outcome = engine.route(&report, peers[1], &query, &RoutingPolicy::uniform(0.5));
+    let outcome = &session.route_all(&[(peers[1], query)], &RoutingPolicy::uniform(0.5))[0];
     println!("\nquery routed from p2:");
     println!("  peers reached:        {}", outcome.reached.len());
     println!("  false-positive peers: {}", outcome.tainted.len());
@@ -77,7 +103,29 @@ fn main() {
             decision.mapping,
             decision.from,
             decision.to,
-            if decision.forwarded { "forwarded" } else { "blocked" }
+            if decision.forwarded {
+                "forwarded"
+            } else {
+                "blocked"
+            }
         );
     }
+
+    // 4. The network evolves: p2's administrator repairs m24. The session applies the
+    //    delta incrementally — only the evidence paths through m24 are re-observed,
+    //    everything else is reused, and message passing restarts warm from the
+    //    previous posteriors.
+    let report = session.apply(&[NetworkEvent::Repair {
+        mapping: pdms::schema::MappingId(4),
+        attribute: creator,
+    }]);
+    let p_repaired =
+        session
+            .posteriors()
+            .probability(session.catalog(), pdms::schema::MappingId(4), creator);
+    println!(
+        "\nafter repairing m24: {} evidence paths re-observed, {} reused, \
+         {} warm rounds; P(m24 preserves Creator) = {p_repaired:.3}",
+        report.analysis.evidences_reobserved, report.analysis.evidences_reused, report.rounds,
+    );
 }

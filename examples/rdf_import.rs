@@ -90,7 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         else {
             return Judgement::Unknown;
         };
-        let expected = attribute_of_concept.get(&(target.to_string(), concept)).copied();
+        let expected = attribute_of_concept
+            .get(&(target.to_string(), concept))
+            .copied();
         let proposed_concept = concept_of_name.get(&(target.to_string(), target_attr.to_string()));
         match (expected, proposed_concept) {
             (Some(_), Some(&proposed)) if proposed == concept => Judgement::Correct,

@@ -10,17 +10,50 @@
 //! over a factor graph and running decentralized loopy belief propagation embedded in
 //! normal PDMS query traffic.
 //!
+//! ## The session API
+//!
+//! The paper's pitch is *incremental* assessment riding on normal traffic, and the
+//! public API mirrors that. An [`core::EngineSession`] is built once, then kept
+//! up to date with [`core::NetworkEvent`] deltas; only the evidence touching the
+//! changed mappings is recomputed, and iterative inference restarts warm:
+//!
+//! ```no_run
+//! use pdms::core::{Engine, Granularity, NetworkEvent, RoutingPolicy};
+//! # let catalog = pdms::workloads::intro_network().0;
+//! # let events: Vec<NetworkEvent> = Vec::new();
+//! # let queries: Vec<(pdms::schema::PeerId, pdms::schema::Query)> = Vec::new();
+//!
+//! let mut session = Engine::builder()
+//!     .granularity(Granularity::Fine)
+//!     .delta(0.1)
+//!     .build(catalog);
+//!
+//! session.apply(&events);                 // network churn: incremental update
+//! session.route_all(&queries, &RoutingPolicy::uniform(0.5)); // batch routing
+//! session.update_priors();                // Section 4.4 evidence accumulation
+//! ```
+//!
+//! Inference is pluggable through the [`core::InferenceBackend`] trait
+//! (embedded message passing, centralized exact, cycle voting, or your own); the
+//! batch [`core::Engine`] façade remains for one-shot experiments. `MIGRATION.md`
+//! at the workspace root maps the old `EngineConfig`-based API onto the builder.
+//!
+//! ## Crate map
+//!
 //! The functionality lives in the member crates, re-exported here:
 //!
-//! * [`graph`] — mapping-network topology, cycle and parallel-path enumeration,
+//! * [`graph`] — mapping-network topology, cycle and parallel-path enumeration
+//!   (including the targeted per-edge searches behind incremental maintenance),
 //!   random generators;
-//! * [`schema`] — schemas, attributes, queries, mappings, query translation;
+//! * [`schema`] — schemas, attributes, queries, mappings (with tombstoned removal),
+//!   query translation;
 //! * [`factor`] — factor graphs and sum-product (loopy BP) inference;
 //! * [`network`] — the decentralized PDMS simulator with lossy transport;
-//! * [`core`] — the paper's contribution: cycle analysis, local factor graphs,
-//!   embedded message passing, prior updates, posterior-driven routing, baselines,
-//!   plus the adaptive TTL expansion, overhead accounting, and network-dynamics
-//!   machinery of the later sections;
+//! * [`core`] — the paper's contribution: cycle analysis with incremental
+//!   invalidation, local factor graphs, pluggable inference backends, engine
+//!   sessions, prior updates, posterior-driven routing, baselines, plus the adaptive
+//!   TTL expansion, overhead accounting, and network-dynamics machinery of the later
+//!   sections;
 //! * [`workloads`] — the introductory example network, synthetic topologies, the
 //!   EON-style ontology alignment scenario, SRS-style clustered topologies, and churn
 //!   generators;

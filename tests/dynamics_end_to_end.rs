@@ -36,7 +36,10 @@ fn churn_epochs_keep_the_catalog_and_reports_consistent() {
         let report = pdms.run_epoch().clone();
         assert_eq!(report.epoch, epoch);
         assert_eq!(report.mappings, pdms.catalog().mapping_count());
-        assert_eq!(report.erroneous_mappings, pdms.catalog().erroneous_mapping_count());
+        assert_eq!(
+            report.erroneous_mappings,
+            pdms.catalog().erroneous_mapping_count()
+        );
         assert!(report.evaluation.total() > 0);
         assert!(report.posterior_drift >= 0.0 && report.posterior_drift <= 1.0);
     }

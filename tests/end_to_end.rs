@@ -4,10 +4,12 @@
 use pdms::core::{
     precision_recall, AnalysisConfig, Engine, EngineConfig, InferenceMethod, RoutingPolicy,
 };
+use pdms::graph::GeneratorConfig;
 use pdms::schema::{AttributeId, PeerId, Predicate, Query};
 use pdms::workloads::example::{intro_network, CREATOR, ITEM};
-use pdms::workloads::{generate_ontology_suite, OntologySuiteConfig, SyntheticConfig, SyntheticNetwork};
-use pdms::graph::GeneratorConfig;
+use pdms::workloads::{
+    generate_ontology_suite, OntologySuiteConfig, SyntheticConfig, SyntheticNetwork,
+};
 
 #[test]
 fn intro_network_end_to_end() {

@@ -24,7 +24,9 @@ fn factor_graph_strategy() -> impl Strategy<Value = FactorGraph> {
         );
         (priors, factors).prop_map(move |(priors, factors)| {
             let mut graph = FactorGraph::new();
-            let ids: Vec<VariableId> = (0..n).map(|i| graph.add_variable(format!("x{i}"))).collect();
+            let ids: Vec<VariableId> = (0..n)
+                .map(|i| graph.add_variable(format!("x{i}")))
+                .collect();
             for (id, p) in ids.iter().zip(&priors) {
                 graph.add_prior(*id, *p);
             }

@@ -8,8 +8,8 @@
 
 use pdms::core::{AnalysisConfig, CycleAnalysis, Granularity, MappingModel};
 use pdms::factor::{
-    eliminate_marginals, exact_marginals, junction_tree_marginals, map_assignment,
-    run_sum_product, SumProductConfig,
+    eliminate_marginals, exact_marginals, junction_tree_marginals, map_assignment, run_sum_product,
+    SumProductConfig,
 };
 use pdms::schema::{AttributeId, Catalog, PeerId};
 use proptest::prelude::*;

@@ -41,7 +41,10 @@ fn exported_and_reimported_catalog_reaches_the_same_verdicts() {
     let import = import_catalog(&ontologies, &alignments).expect("import succeeds");
 
     assert_eq!(import.catalog.peer_count(), suite.catalog.peer_count());
-    assert_eq!(import.catalog.mapping_count(), suite.catalog.mapping_count());
+    assert_eq!(
+        import.catalog.mapping_count(),
+        suite.catalog.mapping_count()
+    );
 
     // Same inference input ⇒ same posteriors, whether the catalog came from the
     // generator or went through the OWL/alignment files (ground truth is not part of
@@ -90,19 +93,24 @@ fn oracle_judged_import_supports_precision_evaluation() {
         .iter()
         .map(|xml| parse_alignment(xml).expect("exported alignment parses"))
         .collect();
-    let import = import_catalog_with_oracle(&ontologies, &alignments, |source, source_attr, target, target_attr| {
-        let Some(&concept) = concept_of_name.get(&(source.to_string(), source_attr.to_string()))
-        else {
-            return Judgement::Unknown;
-        };
-        let expected = attribute_of_concept
-            .get(&(target.to_string(), concept))
-            .copied();
-        match concept_of_name.get(&(target.to_string(), target_attr.to_string())) {
-            Some(&proposed) if proposed == concept => Judgement::Correct,
-            _ => Judgement::Erroneous(expected),
-        }
-    })
+    let import = import_catalog_with_oracle(
+        &ontologies,
+        &alignments,
+        |source, source_attr, target, target_attr| {
+            let Some(&concept) =
+                concept_of_name.get(&(source.to_string(), source_attr.to_string()))
+            else {
+                return Judgement::Unknown;
+            };
+            let expected = attribute_of_concept
+                .get(&(target.to_string(), concept))
+                .copied();
+            match concept_of_name.get(&(target.to_string(), target_attr.to_string())) {
+                Some(&proposed) if proposed == concept => Judgement::Correct,
+                _ => Judgement::Erroneous(expected),
+            }
+        },
+    )
     .expect("judged import succeeds");
 
     // The judged import carries the same number of erroneous correspondences as the
@@ -119,7 +127,10 @@ fn oracle_judged_import_supports_precision_evaluation() {
     let mut engine = Engine::new(import.catalog, engine_config());
     let report = engine.run();
     let eval = engine.evaluate(&report, 0.3);
-    assert!(eval.flagged() > 0, "something must be flagged at theta = 0.3");
+    assert!(
+        eval.flagged() > 0,
+        "something must be flagged at theta = 0.3"
+    );
     assert!(
         eval.precision() > 0.5,
         "precision {} at theta = 0.3 should beat a coin flip",
