@@ -26,6 +26,7 @@ fn bench_engine(c: &mut Criterion) {
                             max_cycle_len: 5,
                             max_path_len: 3,
                             include_parallel_paths: true,
+                            ..Default::default()
                         },
                         embedded: EmbeddedConfig {
                             record_history: false,

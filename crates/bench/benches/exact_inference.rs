@@ -27,6 +27,7 @@ fn bench_exact_backends(c: &mut Criterion) {
                 max_cycle_len: 6 + extra,
                 max_path_len: 4 + extra,
                 include_parallel_paths: true,
+                ..Default::default()
             },
         );
         let model = MappingModel::build(&catalog, &analysis, Granularity::Coarse, 0.1);

@@ -28,6 +28,7 @@ fn bench_granularity(c: &mut Criterion) {
                                 max_cycle_len: 4,
                                 max_path_len: 3,
                                 include_parallel_paths: true,
+                                ..Default::default()
                             },
                             embedded: EmbeddedConfig {
                                 record_history: false,

@@ -23,6 +23,7 @@ fn analysis_config() -> AnalysisConfig {
         max_cycle_len: 5,
         max_path_len: 3,
         include_parallel_paths: true,
+        ..Default::default()
     }
 }
 

@@ -19,6 +19,7 @@ fn bench_sum_product(c: &mut Criterion) {
                 max_cycle_len: n + 1,
                 max_path_len: 2,
                 include_parallel_paths: false,
+                ..Default::default()
             },
         );
         let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, 0.1);

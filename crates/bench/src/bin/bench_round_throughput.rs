@@ -1,0 +1,83 @@
+//! Emits `BENCH_round_throughput.json`: the committed before/after record of the
+//! flat-arena embedded engine and the parallel evidence enumeration.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p pdms-bench --bin bench_round_throughput
+//! ```
+//!
+//! "baseline" numbers come from the preserved nested-`Vec` engine
+//! (`pdms_core::embedded_baseline`) and the serial enumeration; "flat" / "parallel"
+//! numbers from the arena engine and the `std::thread::scope` fan-out. Each entry
+//! reports best-of-5 wall times.
+
+use pdms_bench::round_throughput::{
+    best_of, rounds_per_sec, standard_fixtures, time_baseline_rounds, time_enumeration,
+    time_flat_rounds, ROUNDS_PER_SAMPLE,
+};
+use pdms_graph::effective_parallelism;
+
+const REPEATS: usize = 5;
+
+fn main() {
+    let mut entries = Vec::new();
+    for fixture in standard_fixtures() {
+        eprintln!("measuring {} ...", fixture.name);
+        let baseline = best_of(REPEATS, || time_baseline_rounds(&fixture.model));
+        let flat = best_of(REPEATS, || time_flat_rounds(&fixture.model));
+        let serial_enum = best_of(REPEATS, || time_enumeration(&fixture, 1));
+        let parallel_enum = best_of(REPEATS, || time_enumeration(&fixture, 0));
+        let baseline_rps = rounds_per_sec(baseline);
+        let flat_rps = rounds_per_sec(flat);
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"fixture\": \"{name}\",\n",
+                "      \"peers\": {peers},\n",
+                "      \"variables\": {variables},\n",
+                "      \"evidences\": {evidences},\n",
+                "      \"rounds_per_sample\": {rounds},\n",
+                "      \"baseline_rounds_per_sec\": {baseline_rps:.1},\n",
+                "      \"flat_arena_rounds_per_sec\": {flat_rps:.1},\n",
+                "      \"round_speedup\": {round_speedup:.2},\n",
+                "      \"enumeration_serial_ms\": {serial_ms:.3},\n",
+                "      \"enumeration_parallel_ms\": {parallel_ms:.3},\n",
+                "      \"enumeration_speedup\": {enum_speedup:.2}\n",
+                "    }}"
+            ),
+            name = fixture.name,
+            peers = fixture.peers,
+            variables = fixture.model.variable_count(),
+            evidences = fixture.model.evidence_count(),
+            rounds = ROUNDS_PER_SAMPLE,
+            baseline_rps = baseline_rps,
+            flat_rps = flat_rps,
+            round_speedup = flat_rps / baseline_rps,
+            serial_ms = serial_enum.as_secs_f64() * 1e3,
+            parallel_ms = parallel_enum.as_secs_f64() * 1e3,
+            enum_speedup =
+                serial_enum.as_secs_f64() / parallel_enum.as_secs_f64().max(f64::MIN_POSITIVE),
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"round_throughput\",\n",
+            "  \"command\": \"cargo run --release -p pdms-bench --bin bench_round_throughput\",\n",
+            "  \"baseline\": \"nested-Vec embedded engine (pdms_core::embedded_baseline) + serial enumeration\",\n",
+            "  \"candidate\": \"flat-arena embedded engine + std::thread::scope enumeration\",\n",
+            "  \"parallel_workers\": {workers},\n",
+            "  \"repeats\": {repeats},\n",
+            "  \"fixtures\": [\n{entries}\n  ]\n",
+            "}}\n"
+        ),
+        workers = effective_parallelism(0),
+        repeats = REPEATS,
+        entries = entries.join(",\n"),
+    );
+    let path = "BENCH_round_throughput.json";
+    std::fs::write(path, &json).expect("write BENCH_round_throughput.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

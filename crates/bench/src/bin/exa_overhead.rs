@@ -48,6 +48,7 @@ fn main() {
         max_cycle_len: 4,
         max_path_len: 3,
         include_parallel_paths: true,
+        ..Default::default()
     };
     let (bound, actual, mean) = profile(&suite.catalog, &eon_config);
     println!(
@@ -76,6 +77,7 @@ fn main() {
             max_cycle_len: 5,
             max_path_len: 3,
             include_parallel_paths: true,
+            ..Default::default()
         };
         let (bound, actual, mean) = profile(&network.catalog, &scale_config);
         bound_series.push((peers as f64, bound as f64));

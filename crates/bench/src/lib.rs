@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod round_throughput;
+
 /// A labelled series of (x, y) points, printed as one column block.
 #[derive(Debug, Clone)]
 pub struct Series {

@@ -12,8 +12,8 @@
 
 use crate::feedback::{Feedback, FeedbackObservation};
 use pdms_graph::{
-    cycles_through_edge, enumerate_cycles, enumerate_parallel_paths, parallel_paths_through_edge,
-    DiGraph, EdgeId, NodeId,
+    cycles_through_edge, enumerate_cycles_parallel, enumerate_parallel_paths_parallel,
+    parallel_paths_through_edge, DiGraph, EdgeId, NodeId,
 };
 use pdms_schema::{AttributeId, Catalog, MappingId, PeerId};
 
@@ -78,6 +78,12 @@ pub struct AnalysisConfig {
     /// Also enumerate parallel paths (directed networks). Disable for workloads that
     /// only want cycle feedback.
     pub include_parallel_paths: bool,
+    /// Worker threads for the full cycle / parallel-path enumerations: `0` = auto
+    /// (the `PDMS_PARALLELISM` environment variable, else every available core), `1`
+    /// = serial, `n` = exactly `n` workers. Results are identical at every setting —
+    /// the fan-out merges in deterministic origin order (see
+    /// [`pdms_graph::effective_parallelism`]).
+    pub parallelism: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -86,6 +92,7 @@ impl Default for AnalysisConfig {
             max_cycle_len: 6,
             max_path_len: 4,
             include_parallel_paths: true,
+            parallelism: 0,
         }
     }
 }
@@ -102,11 +109,15 @@ pub struct CycleAnalysis {
 
 impl CycleAnalysis {
     /// Runs the analysis over a catalog.
+    ///
+    /// The cycle and parallel-path enumerations fan out across
+    /// [`AnalysisConfig::parallelism`] workers; the merge order is deterministic, so
+    /// evidence ids do not depend on the worker count.
     pub fn analyze(catalog: &Catalog, config: &AnalysisConfig) -> Self {
         let graph = build_topology(catalog);
         let mut evidences = Vec::new();
         // Directed cycles. Edge ids and mapping ids coincide by construction.
-        for cycle in enumerate_cycles(&graph, config.max_cycle_len) {
+        for cycle in enumerate_cycles_parallel(&graph, config.max_cycle_len, config.parallelism) {
             let origin = PeerId(cycle.nodes[0].0);
             evidences.push(EvidencePath {
                 id: evidences.len(),
@@ -116,7 +127,9 @@ impl CycleAnalysis {
             });
         }
         if config.include_parallel_paths {
-            for pp in enumerate_parallel_paths(&graph, config.max_path_len) {
+            for pp in
+                enumerate_parallel_paths_parallel(&graph, config.max_path_len, config.parallelism)
+            {
                 let mut mappings: Vec<MappingId> = pp.left.iter().map(|e| MappingId(e.0)).collect();
                 let split = mappings.len();
                 mappings.extend(pp.right.iter().map(|e| MappingId(e.0)));
@@ -181,6 +194,11 @@ impl CycleAnalysis {
     /// network: only the cycles and parallel-path pairs through the new mapping's edge
     /// are searched (every other evidence path is untouched — an edge addition cannot
     /// create or destroy evidence that does not use it).
+    ///
+    /// Rebuilds the topology from the catalog on every call; long-lived callers that
+    /// maintain a live [`DiGraph`] mirror (as [`crate::session::EngineSession`] does)
+    /// should use [`CycleAnalysis::add_mapping_incremental_in`] instead and skip the
+    /// O(mapping slots) rebuild.
     pub fn add_mapping_incremental(
         &mut self,
         catalog: &Catalog,
@@ -188,9 +206,32 @@ impl CycleAnalysis {
         config: &AnalysisConfig,
     ) -> AnalysisDelta {
         let graph = build_topology(catalog);
+        self.add_mapping_incremental_in(catalog, &graph, mapping, config)
+    }
+
+    /// [`CycleAnalysis::add_mapping_incremental`] against a caller-maintained
+    /// topology.
+    ///
+    /// `graph` must mirror `catalog` exactly — one edge per mapping slot, edge ids
+    /// equal to mapping ids, tombstoned mappings as tombstoned edges — and already
+    /// contain the edge of `mapping`. [`build_topology`] produces such a mirror from
+    /// scratch; an [`crate::session::EngineSession`] keeps one alive across events
+    /// so each `AddMapping` costs only the targeted search, not a topology rebuild.
+    pub fn add_mapping_incremental_in(
+        &mut self,
+        catalog: &Catalog,
+        graph: &DiGraph,
+        mapping: MappingId,
+        config: &AnalysisConfig,
+    ) -> AnalysisDelta {
+        debug_assert_eq!(
+            graph.edge_count(),
+            catalog.mapping_count(),
+            "topology mirror out of sync with the catalog"
+        );
         let edge = EdgeId(mapping.0);
         let reused = self.evidences.len();
-        for cycle in cycles_through_edge(&graph, edge, config.max_cycle_len, true) {
+        for cycle in cycles_through_edge(graph, edge, config.max_cycle_len, true) {
             let origin = PeerId(cycle.nodes[0].0);
             self.evidences.push(EvidencePath {
                 id: self.evidences.len(),
@@ -200,7 +241,7 @@ impl CycleAnalysis {
             });
         }
         if config.include_parallel_paths {
-            for pp in parallel_paths_through_edge(&graph, edge, config.max_path_len) {
+            for pp in parallel_paths_through_edge(graph, edge, config.max_path_len) {
                 let mut mappings: Vec<MappingId> = pp.left.iter().map(|e| MappingId(e.0)).collect();
                 let split = mappings.len();
                 mappings.extend(pp.right.iter().map(|e| MappingId(e.0)));

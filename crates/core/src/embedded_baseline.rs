@@ -1,0 +1,265 @@
+//! The pre-arena, nested-`Vec` implementation of the embedded message-passing
+//! scheme, preserved verbatim as a golden reference.
+//!
+//! [`crate::embedded::EmbeddedMessagePassing`] reworked the round loop onto flat,
+//! CSR-indexed arenas; the change-driven caching contract demands that the rework is
+//! *bit-identical* — same posteriors, same convergence round, same loss-model RNG
+//! stream. This module keeps the original pointer-chasing implementation around so
+//! that contract stays checkable forever:
+//!
+//! * the golden-posterior equivalence tests (`tests/golden_posteriors.rs` and the
+//!   proptest schedules in `crate::embedded`) run both engines side by side and
+//!   assert exact equality;
+//! * the `round_throughput` bench and the `BENCH_round_throughput.json` emitter use
+//!   it as the "before" of the before/after comparison.
+//!
+//! It is **not** part of the serving path — never use it outside tests and benches.
+
+use crate::embedded::{EmbeddedConfig, EmbeddedReport};
+use crate::local_graph::{MappingModel, VariableKey};
+use pdms_factor::feedback_factor::{feedback_message, FeedbackSign};
+use pdms_factor::Belief;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The original nested-`Vec` state machine (see the module docs of
+/// [`crate::embedded`] for the algorithm itself).
+#[derive(Debug, Clone)]
+pub struct BaselineMessagePassing<'m> {
+    model: &'m MappingModel,
+    priors: Vec<Belief>,
+    /// `incoming[e][k][j]`: the message about variable `e.variables[j]` as currently
+    /// known by the owner of `e.variables[k]` (unit before anything arrives).
+    incoming: Vec<Vec<Vec<Belief>>>,
+    /// `factor_to_var[e][k]`: the locally computed message from the replica of factor
+    /// `e` to its variable at position `k`.
+    factor_to_var: Vec<Vec<Belief>>,
+    /// `evidences_of_var[v]`: every `(evidence, position)` where variable `v` appears.
+    evidences_of_var: Vec<Vec<(usize, usize)>>,
+    /// `stale_factor[e][k]`: an input of the factor replica changed, so
+    /// `factor_to_var[e][k]` must be recomputed next round.
+    stale_factor: Vec<Vec<bool>>,
+    /// `var_active[v]`: some factor→variable message into `v` changed last phase.
+    var_active: Vec<bool>,
+    /// `last_remote[e][j]`: cached remote message `µ_{vars[j]→e}` from the previous
+    /// round.
+    last_remote: Vec<Vec<Belief>>,
+    config: EmbeddedConfig,
+    rng: StdRng,
+    messages_delivered: u64,
+    messages_dropped: u64,
+}
+
+impl<'m> BaselineMessagePassing<'m> {
+    /// Creates the state machine with per-variable priors (mirrors
+    /// [`crate::embedded::EmbeddedMessagePassing::new`]).
+    pub fn new(
+        model: &'m MappingModel,
+        priors: &BTreeMap<VariableKey, f64>,
+        default_prior: f64,
+        config: EmbeddedConfig,
+    ) -> Self {
+        let prior_beliefs = model
+            .variables
+            .iter()
+            .map(|key| Belief::from_probability(priors.get(key).copied().unwrap_or(default_prior)))
+            .collect();
+        let incoming: Vec<Vec<Vec<Belief>>> = model
+            .evidences
+            .iter()
+            .map(|e| vec![vec![Belief::unit(); e.variables.len()]; e.variables.len()])
+            .collect();
+        let factor_to_var: Vec<Vec<Belief>> = model
+            .evidences
+            .iter()
+            .map(|e| vec![Belief::unit(); e.variables.len()])
+            .collect();
+        let mut evidences_of_var = vec![Vec::new(); model.variable_count()];
+        for (e_idx, evidence) in model.evidences.iter().enumerate() {
+            for (position, &variable) in evidence.variables.iter().enumerate() {
+                evidences_of_var[variable].push((e_idx, position));
+            }
+        }
+        let stale_factor = model
+            .evidences
+            .iter()
+            .map(|e| vec![true; e.variables.len()])
+            .collect();
+        let last_remote = model
+            .evidences
+            .iter()
+            .map(|e| vec![Belief::unit(); e.variables.len()])
+            .collect();
+        let var_active = vec![true; model.variable_count()];
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            model,
+            priors: prior_beliefs,
+            incoming,
+            factor_to_var,
+            evidences_of_var,
+            stale_factor,
+            var_active,
+            last_remote,
+            config,
+            rng,
+            messages_delivered: 0,
+            messages_dropped: 0,
+        }
+    }
+
+    /// Seeds the message state from the posteriors of a previous run (mirrors
+    /// [`crate::embedded::EmbeddedMessagePassing::warm_start`]).
+    pub fn warm_start(&mut self, previous: &BTreeMap<VariableKey, f64>) {
+        for (e_idx, evidence) in self.model.evidences.iter().enumerate() {
+            for (j, &var_j) in evidence.variables.iter().enumerate() {
+                let Some(&p) = previous.get(&self.model.variables[var_j]) else {
+                    continue;
+                };
+                let message = Belief::from_probability(p.clamp(0.0, 1.0)).normalized();
+                for k in 0..evidence.variables.len() {
+                    self.incoming[e_idx][k][j] = message;
+                    self.stale_factor[e_idx][k] = true;
+                }
+            }
+        }
+    }
+
+    /// Posterior `P(correct)` of one model variable, from the owner's perspective.
+    pub fn posterior(&self, variable: usize) -> f64 {
+        let mut belief = self.priors[variable];
+        for &(e, pos) in &self.evidences_of_var[variable] {
+            belief *= self.factor_to_var[e][pos];
+        }
+        belief.probability_correct()
+    }
+
+    /// Posteriors of all variables.
+    pub fn posteriors(&self) -> Vec<f64> {
+        (0..self.model.variable_count())
+            .map(|v| self.posterior(v))
+            .collect()
+    }
+
+    /// The remote message `µ_{p→fa_e}(variable)`.
+    fn remote_message(&self, variable: usize, excluding_evidence: usize) -> Belief {
+        let mut belief = self.priors[variable];
+        for &(e, pos) in &self.evidences_of_var[variable] {
+            if e == excluding_evidence {
+                continue;
+            }
+            belief *= self.factor_to_var[e][pos];
+        }
+        belief.normalized()
+    }
+
+    /// Runs one round of the periodic schedule. Returns the largest posterior change.
+    pub fn round(&mut self) -> f64 {
+        let before = self.posteriors();
+        // Phase 1: every owner recomputes the local factor→variable messages of its
+        // replicas whose received inputs changed.
+        let mut var_activated = vec![false; self.model.variable_count()];
+        for (e_idx, evidence) in self.model.evidences.iter().enumerate() {
+            let sign = FeedbackSign::from_positive(evidence.positive);
+            for k in 0..evidence.variables.len() {
+                if !self.stale_factor[e_idx][k] {
+                    continue;
+                }
+                self.stale_factor[e_idx][k] = false;
+                let mut inputs = self.incoming[e_idx][k].clone();
+                inputs[k] = Belief::unit(); // ignored by message computation
+                let message = feedback_message(sign, evidence.delta, k, &inputs).normalized();
+                if message != self.factor_to_var[e_idx][k] {
+                    self.factor_to_var[e_idx][k] = message;
+                    var_activated[evidence.variables[k]] = true;
+                }
+            }
+        }
+        for (variable, activated) in var_activated.into_iter().enumerate() {
+            if activated {
+                self.var_active[variable] = true;
+            }
+        }
+        // Phase 2: every owner sends its remote messages; each individual message may
+        // be lost, in which case the recipient keeps the stale value.
+        for (e_idx, evidence) in self.model.evidences.iter().enumerate() {
+            for (j, &var_j) in evidence.variables.iter().enumerate() {
+                let message = if self.var_active[var_j] {
+                    let message = self.remote_message(var_j, e_idx);
+                    self.last_remote[e_idx][j] = message;
+                    message
+                } else {
+                    self.last_remote[e_idx][j]
+                };
+                for k in 0..evidence.variables.len() {
+                    if k == j {
+                        self.incoming[e_idx][k][j] = message;
+                        continue;
+                    }
+                    let delivered = self.config.send_probability >= 1.0
+                        || self
+                            .rng
+                            .gen_bool(self.config.send_probability.clamp(0.0, 1.0));
+                    if delivered {
+                        if self.incoming[e_idx][k][j] != message {
+                            self.incoming[e_idx][k][j] = message;
+                            self.stale_factor[e_idx][k] = true;
+                        }
+                        self.messages_delivered += 1;
+                    } else {
+                        self.messages_dropped += 1;
+                    }
+                }
+            }
+        }
+        for active in &mut self.var_active {
+            *active = false;
+        }
+        let after = self.posteriors();
+        before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Runs rounds until convergence or the cap, returning the report.
+    pub fn run(&mut self) -> EmbeddedReport {
+        let mut history = Vec::new();
+        if self.config.record_history {
+            history.push(self.posteriors());
+        }
+        let mut converged = false;
+        let mut rounds = 0;
+        for _ in 0..self.config.max_rounds {
+            let delta = self.round();
+            rounds += 1;
+            if self.config.record_history {
+                history.push(self.posteriors());
+            }
+            if delta < self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        EmbeddedReport {
+            posteriors: self.posteriors(),
+            rounds,
+            converged,
+            history,
+            messages_delivered: self.messages_delivered,
+            messages_dropped: self.messages_dropped,
+        }
+    }
+}
+
+/// Convenience: build the baseline state machine, run it, return the report.
+pub fn run_embedded_baseline(
+    model: &MappingModel,
+    priors: &BTreeMap<VariableKey, f64>,
+    default_prior: f64,
+    config: EmbeddedConfig,
+) -> EmbeddedReport {
+    BaselineMessagePassing::new(model, priors, default_prior, config).run()
+}

@@ -27,7 +27,7 @@
 //! iterative ones) — `tests/session_incremental.rs` asserts this round trip.
 
 use crate::backend::{backend_for_method, InferenceBackend, InferenceTask};
-use crate::cycle_analysis::{AnalysisConfig, AnalysisDelta, CycleAnalysis};
+use crate::cycle_analysis::{build_topology, AnalysisConfig, AnalysisDelta, CycleAnalysis};
 use crate::delta::estimate_delta_for_catalog;
 use crate::dynamics::{apply_event, EventEffect, NetworkEvent};
 use crate::embedded::EmbeddedConfig;
@@ -37,6 +37,7 @@ use crate::metrics::{precision_recall, EvaluationReport};
 use crate::posterior::PosteriorTable;
 use crate::priors::PriorStore;
 use crate::routing::{route_query, RoutingOutcome, RoutingPolicy};
+use pdms_graph::{DiGraph, EdgeId, NodeId};
 use pdms_schema::{Catalog, PeerId, Query};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -82,6 +83,14 @@ impl EngineBuilder {
     /// Sets the cycle / parallel-path discovery bounds.
     pub fn analysis(mut self, analysis: AnalysisConfig) -> Self {
         self.analysis = analysis;
+        self
+    }
+
+    /// Sets the worker count for full evidence enumerations (`0` = auto via
+    /// `PDMS_PARALLELISM` / available cores, `1` = serial). Shorthand for setting
+    /// [`AnalysisConfig::parallelism`]; results are identical at every setting.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.analysis.parallelism = parallelism;
         self
     }
 
@@ -147,6 +156,7 @@ impl EngineBuilder {
             delta_override: self.delta,
             backend,
             priors: self.priors.unwrap_or_default(),
+            topology: DiGraph::default(),
             analysis: CycleAnalysis::default(),
             model: MappingModel::default(),
             variable_posteriors: BTreeMap::new(),
@@ -203,6 +213,11 @@ pub struct EngineSession {
     delta_override: Option<f64>,
     backend: Arc<dyn InferenceBackend>,
     priors: PriorStore,
+    /// Live mirror of the catalog's mapping network: one node per peer, one edge per
+    /// mapping slot (edge ids == mapping ids, tombstones aligned). Maintained
+    /// event-by-event so incremental evidence discovery never pays a
+    /// [`build_topology`] rebuild.
+    topology: DiGraph,
     analysis: CycleAnalysis,
     model: MappingModel,
     variable_posteriors: BTreeMap<VariableKey, f64>,
@@ -221,6 +236,13 @@ impl EngineSession {
     /// The cached evidence analysis.
     pub fn analysis(&self) -> &CycleAnalysis {
         &self.analysis
+    }
+
+    /// The live topology mirror of the catalog (edge ids == mapping ids; tombstoned
+    /// mappings are tombstoned edges). Maintained incrementally across
+    /// [`EngineSession::apply`] calls.
+    pub fn topology(&self) -> &DiGraph {
+        &self.topology
     }
 
     /// The cached probabilistic model.
@@ -293,10 +315,19 @@ impl EngineSession {
                 Some(effect) => {
                     report.events_applied += 1;
                     match effect {
-                        EventEffect::PeerAdded(_) => {}
+                        EventEffect::PeerAdded(_) => {
+                            // Keep the topology mirror's node set aligned with the
+                            // catalog's peer ids.
+                            let node = self.topology.add_node();
+                            debug_assert_eq!(node.0 + 1, self.catalog.peer_count());
+                        }
                         EventEffect::MappingAdded(mapping) => {
-                            let delta = self.analysis.add_mapping_incremental(
+                            let (source, target) = self.catalog.mapping_endpoints(mapping);
+                            let edge = self.topology.add_edge(NodeId(source.0), NodeId(target.0));
+                            debug_assert_eq!(edge.0, mapping.0, "mirror edge ids = mapping ids");
+                            let delta = self.analysis.add_mapping_incremental_in(
                                 &self.catalog,
+                                &self.topology,
                                 mapping,
                                 &self.analysis_config,
                             );
@@ -304,6 +335,7 @@ impl EngineSession {
                             added.insert(mapping);
                         }
                         EventEffect::MappingRemoved(mapping) => {
+                            self.topology.remove_edge(EdgeId(mapping.0));
                             let delta = self.analysis.remove_mapping_incremental(mapping);
                             report.analysis.merge(delta);
                             edited.remove(&mapping);
@@ -404,6 +436,7 @@ impl EngineSession {
     /// Discards every cache and recomputes the full pipeline (the non-incremental
     /// path; also useful to bound warm-start drift in very long sessions).
     pub fn rebuild_from_scratch(&mut self) {
+        self.topology = build_topology(&self.catalog);
         self.analysis = CycleAnalysis::analyze(&self.catalog, &self.analysis_config);
         self.reinfer(None);
         self.stats.full_builds += 1;
@@ -660,6 +693,81 @@ mod tests {
         assert_eq!(method_first.rounds(), 2);
         assert_eq!(embedded_first.rounds(), 2);
         assert!(!method_first.converged());
+    }
+
+    #[test]
+    fn topology_mirror_tracks_the_catalog_through_churn() {
+        use crate::cycle_analysis::build_topology;
+        let mut session = exact_session();
+        let assert_mirrors = |session: &EngineSession| {
+            let rebuilt = build_topology(session.catalog());
+            let mirror = session.topology();
+            assert_eq!(mirror.node_count(), rebuilt.node_count());
+            assert_eq!(mirror.edge_count(), rebuilt.edge_count());
+            let mirror_edges: Vec<_> = mirror.edges().collect();
+            let rebuilt_edges: Vec<_> = rebuilt.edges().collect();
+            assert_eq!(mirror_edges, rebuilt_edges);
+        };
+        assert_mirrors(&session);
+        session.apply(&[NetworkEvent::AddPeer {
+            name: "p5".into(),
+            attributes: vec!["Creator".into(), "Item".into(), "CreatedOn".into()],
+        }]);
+        assert_mirrors(&session);
+        let correspondences: Vec<_> = (0..3)
+            .map(|a| (AttributeId(a), AttributeId(a), Some(AttributeId(a))))
+            .collect();
+        session.apply(&[
+            NetworkEvent::AddMapping {
+                source: PeerId(3),
+                target: PeerId(4),
+                correspondences: correspondences.clone(),
+            },
+            NetworkEvent::AddMapping {
+                source: PeerId(4),
+                target: PeerId(0),
+                correspondences,
+            },
+            NetworkEvent::RemoveMapping {
+                mapping: MappingId(4),
+            },
+        ]);
+        assert_mirrors(&session);
+        // A full rebuild resynchronises from scratch and still matches.
+        session.rebuild_from_scratch();
+        assert_mirrors(&session);
+    }
+
+    #[test]
+    fn parallelism_knob_does_not_change_the_session_result() {
+        let serial = Engine::builder()
+            .backend(ExactBackend)
+            .delta(0.1)
+            .parallelism(1)
+            .build(intro_catalog_small());
+        let threaded = Engine::builder()
+            .backend(ExactBackend)
+            .delta(0.1)
+            .parallelism(4)
+            .build(intro_catalog_small());
+        assert_eq!(
+            serial.analysis().evidences.len(),
+            threaded.analysis().evidences.len()
+        );
+        for (a, b) in serial
+            .analysis()
+            .evidences
+            .iter()
+            .zip(&threaded.analysis().evidences)
+        {
+            assert_eq!(a, b, "evidence ids must not depend on the worker count");
+        }
+        for m in 0..5 {
+            assert_eq!(
+                serial.posteriors().mapping_probability(MappingId(m)),
+                threaded.posteriors().mapping_probability(MappingId(m))
+            );
+        }
     }
 
     #[test]

@@ -103,26 +103,35 @@ pub struct SumProduct<'g> {
     var_to_factor: Vec<Vec<Belief>>,
     /// `factor_to_var[f.0][k]` is µ_{f → scope[k]}.
     factor_to_var: Vec<Vec<Belief>>,
+    /// Double buffer for the synchronous schedule: the "next" tables are allocated
+    /// once here and swapped with the live tables every iteration, so the per-round
+    /// whole-table clones the schedule used to pay are gone.
+    var_to_factor_next: Vec<Vec<Belief>>,
+    factor_to_var_next: Vec<Vec<Belief>>,
     rng: StdRng,
 }
 
 impl<'g> SumProduct<'g> {
     /// Creates an engine with all messages initialised to the unit function.
     pub fn new(graph: &'g FactorGraph, config: SumProductConfig) -> Self {
-        let var_to_factor = graph
+        let var_to_factor: Vec<Vec<Belief>> = graph
             .factors()
             .map(|f| vec![Belief::unit(); graph.scope_of(f).len()])
             .collect();
-        let factor_to_var = graph
+        let factor_to_var: Vec<Vec<Belief>> = graph
             .factors()
             .map(|f| vec![Belief::unit(); graph.scope_of(f).len()])
             .collect();
+        let var_to_factor_next = var_to_factor.clone();
+        let factor_to_var_next = factor_to_var.clone();
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
             graph,
             config,
             var_to_factor,
             factor_to_var,
+            var_to_factor_next,
+            factor_to_var_next,
             rng,
         }
     }
@@ -190,31 +199,35 @@ impl<'g> SumProduct<'g> {
 
     fn iterate_synchronous(&mut self) {
         // Phase 1: recompute all variable→factor messages from the old factor→variable
-        // table.
-        let mut new_var_to_factor = self.var_to_factor.clone();
+        // table. The "next" table is a once-allocated double buffer: refreshing it
+        // with `clone_from` reuses every inner allocation, and the swap afterwards is
+        // O(1) — no whole-table clone per iteration.
+        self.var_to_factor_next.clone_from(&self.var_to_factor);
         for f in self.graph.factors() {
             for (pos, &v) in self.graph.scope_of(f).iter().enumerate() {
                 if self.should_send() {
-                    new_var_to_factor[f.0][pos] = self.compute_var_to_factor(v, f);
+                    let msg = self.compute_var_to_factor(v, f);
+                    self.var_to_factor_next[f.0][pos] = msg;
                 }
             }
         }
-        self.var_to_factor = new_var_to_factor;
+        std::mem::swap(&mut self.var_to_factor, &mut self.var_to_factor_next);
         // Phase 2: recompute all factor→variable messages from the fresh
         // variable→factor table.
-        let mut new_factor_to_var = self.factor_to_var.clone();
+        self.factor_to_var_next.clone_from(&self.factor_to_var);
         for f in self.graph.factors() {
             #[allow(clippy::needless_range_loop)]
             for pos in 0..self.graph.scope_of(f).len() {
                 if self.should_send() {
                     let incoming = &self.var_to_factor[f.0];
                     let msg = self.graph.factor(f).message_to(pos, incoming).normalized();
-                    let old = new_factor_to_var[f.0][pos];
-                    new_factor_to_var[f.0][pos] = old.damped_towards(&msg, self.config.damping);
+                    let old = self.factor_to_var_next[f.0][pos];
+                    self.factor_to_var_next[f.0][pos] =
+                        old.damped_towards(&msg, self.config.damping);
                 }
             }
         }
-        self.factor_to_var = new_factor_to_var;
+        std::mem::swap(&mut self.factor_to_var, &mut self.factor_to_var_next);
     }
 
     fn iterate_random_sequential(&mut self) {

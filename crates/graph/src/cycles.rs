@@ -9,6 +9,7 @@
 //! so there is no value in paying the exponential cost of finding them all.
 
 use crate::adjacency::{DiGraph, EdgeId, NodeId};
+use crate::parallelism::effective_parallelism;
 
 /// Whether a cycle was found following edge directions or ignoring them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,7 +84,7 @@ impl Cycle {
 /// duplicates that differ only by rotation are merged. Self-loops (length 1) are
 /// ignored: a mapping from a schema to itself provides no cross-peer evidence.
 pub fn enumerate_cycles(graph: &DiGraph, max_len: usize) -> Vec<Cycle> {
-    enumerate_impl(graph, max_len, CycleKind::Directed)
+    enumerate_impl(graph, max_len, CycleKind::Directed, 1)
 }
 
 /// Enumerates all simple undirected cycles of length `3..=max_len`.
@@ -94,34 +95,147 @@ pub fn enumerate_cycles(graph: &DiGraph, max_len: usize) -> Vec<Cycle> {
 /// Length-2 cycles made of two *distinct* parallel or antiparallel edges are reported,
 /// as they do represent two independent mappings that can be compared.
 pub fn enumerate_undirected_cycles(graph: &DiGraph, max_len: usize) -> Vec<Cycle> {
-    enumerate_impl(graph, max_len, CycleKind::Undirected)
+    enumerate_impl(graph, max_len, CycleKind::Undirected, 1)
 }
 
-fn enumerate_impl(graph: &DiGraph, max_len: usize, kind: CycleKind) -> Vec<Cycle> {
+/// [`enumerate_cycles`] fanned out over origin nodes with `std::thread::scope`
+/// workers.
+///
+/// `parallelism` follows [`effective_parallelism`] semantics (`0` = auto, `1` =
+/// serial). The result — contents *and* order — is identical at every worker count:
+/// each worker searches a disjoint stride of origins without deduplicating, and the
+/// coordinator merges the per-origin candidate lists in ascending origin order,
+/// applying the exact dedup the serial enumeration applies. Stable ordering is what
+/// keeps downstream evidence ids reproducible.
+pub fn enumerate_cycles_parallel(
+    graph: &DiGraph,
+    max_len: usize,
+    parallelism: usize,
+) -> Vec<Cycle> {
+    enumerate_impl(graph, max_len, CycleKind::Directed, parallelism)
+}
+
+/// [`enumerate_undirected_cycles`] with the same origin-parallel fan-out as
+/// [`enumerate_cycles_parallel`].
+pub fn enumerate_undirected_cycles_parallel(
+    graph: &DiGraph,
+    max_len: usize,
+    parallelism: usize,
+) -> Vec<Cycle> {
+    enumerate_impl(graph, max_len, CycleKind::Undirected, parallelism)
+}
+
+/// Simple cycles through `origin` (as the rotation start), in DFS discovery order,
+/// deduplicated *within* the origin (an undirected cycle is otherwise discovered
+/// once per traversal direction) but not across origins — the per-worker unit of
+/// the enumeration. Origin-local dedup keeps the buffered candidate lists
+/// proportional to the origin's unique cycles; first-discovery order is preserved,
+/// so the cross-origin merge still reproduces the serial enumeration exactly.
+fn search_from_origin(
+    graph: &DiGraph,
+    origin: NodeId,
+    max_len: usize,
+    kind: CycleKind,
+) -> Vec<Cycle> {
+    let mut found = Vec::new();
+    let mut node_path = vec![origin];
+    let mut edge_path = Vec::new();
+    let mut on_path = vec![false; graph.node_count()];
+    on_path[origin.0] = true;
+    search(
+        graph,
+        origin,
+        origin,
+        max_len,
+        kind,
+        &mut node_path,
+        &mut edge_path,
+        &mut on_path,
+        &mut found,
+    );
+    let mut local_seen: std::collections::HashSet<Vec<EdgeId>> =
+        std::collections::HashSet::with_capacity(found.len());
+    found.retain(|cycle| local_seen.insert(cycle.canonical_edges()));
+    found
+}
+
+/// Merges one origin's candidate list into the running result, deduplicating by
+/// canonical edge set — the single definition of the merge rule; applying it origin
+/// by origin in ascending order is byte-for-byte the serial enumeration.
+fn merge_into(
+    candidates: Vec<Cycle>,
+    seen: &mut std::collections::HashSet<Vec<EdgeId>>,
+    found: &mut Vec<Cycle>,
+) {
+    for cycle in candidates {
+        let key = cycle.canonical_edges();
+        if seen.insert(key) {
+            found.push(cycle);
+        }
+    }
+}
+
+/// Merges per-origin candidate lists in origin order (the parallel coordinator's
+/// half of the merge; the serial path streams through [`merge_into`] directly).
+fn merge_deduplicated(per_origin: Vec<Vec<Cycle>>) -> Vec<Cycle> {
     let mut found: Vec<Cycle> = Vec::new();
     let mut seen: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
-    if max_len < 2 {
-        return found;
-    }
-    for origin in graph.nodes() {
-        let mut node_path = vec![origin];
-        let mut edge_path = Vec::new();
-        let mut on_path = vec![false; graph.node_count()];
-        on_path[origin.0] = true;
-        search(
-            graph,
-            origin,
-            origin,
-            max_len,
-            kind,
-            &mut node_path,
-            &mut edge_path,
-            &mut on_path,
-            &mut seen,
-            &mut found,
-        );
+    for candidates in per_origin {
+        merge_into(candidates, &mut seen, &mut found);
     }
     found
+}
+
+fn enumerate_impl(
+    graph: &DiGraph,
+    max_len: usize,
+    kind: CycleKind,
+    parallelism: usize,
+) -> Vec<Cycle> {
+    if max_len < 2 {
+        return Vec::new();
+    }
+    let node_count = graph.node_count();
+    let workers = effective_parallelism(parallelism).min(node_count.max(1));
+    if workers <= 1 {
+        // Stream origin by origin: only one origin's candidates are buffered at a
+        // time, matching the pre-refactor single-pass memory profile.
+        let mut found: Vec<Cycle> = Vec::new();
+        let mut seen: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
+        for origin in graph.nodes() {
+            merge_into(
+                search_from_origin(graph, origin, max_len, kind),
+                &mut seen,
+                &mut found,
+            );
+        }
+        return found;
+    }
+    let mut per_origin: Vec<Vec<Cycle>> = vec![Vec::new(); node_count];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut origin = worker;
+                    while origin < node_count {
+                        out.push((
+                            origin,
+                            search_from_origin(graph, NodeId(origin), max_len, kind),
+                        ));
+                        origin += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (origin, candidates) in handle.join().expect("cycle worker panicked") {
+                per_origin[origin] = candidates;
+            }
+        }
+    });
+    merge_deduplicated(per_origin)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -134,7 +248,6 @@ fn search(
     node_path: &mut Vec<NodeId>,
     edge_path: &mut Vec<EdgeId>,
     on_path: &mut [bool],
-    seen: &mut std::collections::HashSet<Vec<EdgeId>>,
     found: &mut Vec<Cycle>,
 ) {
     if remaining == 0 {
@@ -174,13 +287,11 @@ fn search(
             if cycle.len() >= 2 {
                 // For undirected cycles require length >= 3 unless the two edges are distinct
                 // parallel/antiparallel edges (they always are distinct by the contains check),
-                // which we do allow.
+                // which we do allow. Deduplication (the same cycle reachable from
+                // several origins, or traversed in both directions) happens in
+                // `merge_deduplicated`, keeping per-origin searches independent.
                 cycle.normalize();
-                let key = cycle.canonical_edges();
-                if !seen.contains(&key) {
-                    seen.insert(key);
-                    found.push(cycle);
-                }
+                found.push(cycle);
             }
             continue;
         }
@@ -199,7 +310,6 @@ fn search(
             node_path,
             edge_path,
             on_path,
-            seen,
             found,
         );
         on_path[next.0] = false;
@@ -492,5 +602,37 @@ mod tests {
         let mut g = DiGraph::with_nodes(1);
         g.add_edge(NodeId(0), NodeId(0));
         assert!(enumerate_cycles(&g, 5).is_empty());
+    }
+
+    #[test]
+    fn parallel_enumeration_is_identical_to_serial_at_every_worker_count() {
+        let (g, _) = paper_directed_example();
+        for max_len in 2..=6 {
+            let serial = enumerate_cycles(&g, max_len);
+            let serial_undirected = enumerate_undirected_cycles(&g, max_len);
+            for workers in [1, 2, 3, 4, 16] {
+                assert_eq!(
+                    enumerate_cycles_parallel(&g, max_len, workers),
+                    serial,
+                    "directed, max_len {max_len}, {workers} workers"
+                );
+                assert_eq!(
+                    enumerate_undirected_cycles_parallel(&g, max_len, workers),
+                    serial_undirected,
+                    "undirected, max_len {max_len}, {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_handles_more_workers_than_nodes() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        let cycles = enumerate_cycles_parallel(&g, 10, 64);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles, enumerate_cycles(&g, 10));
     }
 }

@@ -27,13 +27,15 @@ pub mod cycles;
 pub mod generators;
 pub mod loops;
 pub mod metrics;
+pub mod parallelism;
 pub mod paths;
 pub mod traversal;
 
 pub use adjacency::{DiGraph, EdgeId, EdgeRef, NodeId};
 pub use components::{condensation_edges, strongly_connected_components, Condensation};
 pub use cycles::{
-    cycles_through_edge, enumerate_cycles, enumerate_undirected_cycles, Cycle, CycleKind,
+    cycles_through_edge, enumerate_cycles, enumerate_cycles_parallel, enumerate_undirected_cycles,
+    enumerate_undirected_cycles_parallel, Cycle, CycleKind,
 };
 pub use generators::{GeneratorConfig, TopologyKind};
 pub use loops::{
@@ -41,5 +43,9 @@ pub use loops::{
     LoopCensus,
 };
 pub use metrics::{clustering_coefficient, degree_distribution, GraphMetrics};
-pub use paths::{enumerate_parallel_paths, parallel_paths_through_edge, ParallelPaths};
+pub use parallelism::{effective_parallelism, PARALLELISM_ENV};
+pub use paths::{
+    enumerate_parallel_paths, enumerate_parallel_paths_parallel, parallel_paths_through_edge,
+    ParallelPaths,
+};
 pub use traversal::{bfs_order, connected_components, flood, FloodRecord};

@@ -1,0 +1,52 @@
+//! Worker-count resolution for the parallel enumerators.
+//!
+//! Evidence enumeration (cycles, parallel paths) fans out across origin nodes with
+//! `std::thread::scope` workers. How many workers to use is resolved in one place so
+//! every layer — [`crate::enumerate_cycles_parallel`], the analysis configuration in
+//! `pdms-core`, the engine builder — agrees on the semantics:
+//!
+//! * `requested >= 1`: exactly that many workers (`1` = fully serial, no threads
+//!   spawned — the mode CI pins with `PDMS_PARALLELISM=1`);
+//! * `requested == 0` ("auto"): the `PDMS_PARALLELISM` environment variable if set
+//!   to a positive integer, otherwise [`std::thread::available_parallelism`].
+//!
+//! Parallelism never changes results: workers enumerate disjoint origin sets and the
+//! merge is performed in deterministic origin order, so evidence ids are identical
+//! at every worker count.
+
+/// Environment variable overriding the "auto" worker count.
+pub const PARALLELISM_ENV: &str = "PDMS_PARALLELISM";
+
+/// Resolves a parallelism knob (`0` = auto) to a concrete worker count (>= 1).
+pub fn effective_parallelism(requested: usize) -> usize {
+    if requested >= 1 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var(PARALLELISM_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_request_wins() {
+        assert_eq!(effective_parallelism(1), 1);
+        assert_eq!(effective_parallelism(7), 7);
+    }
+
+    #[test]
+    fn auto_is_at_least_one() {
+        // Whatever the environment says, auto resolves to a usable worker count.
+        assert!(effective_parallelism(0) >= 1);
+    }
+}

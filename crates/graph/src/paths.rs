@@ -7,7 +7,8 @@
 //! positive, negative or neutral feedback on the union of the mappings involved.
 
 use crate::adjacency::{DiGraph, EdgeId, NodeId};
-use std::collections::HashSet;
+use crate::parallelism::effective_parallelism;
+use std::collections::{BTreeMap, HashSet};
 
 /// A pair of edge-disjoint directed paths with common endpoints.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -102,57 +103,124 @@ pub fn enumerate_parallel_paths(graph: &DiGraph, max_len: usize) -> Vec<Parallel
     collect_parallel_paths(graph, graph.nodes(), max_len, None)
 }
 
+/// [`enumerate_parallel_paths`] fanned out across source nodes with
+/// `std::thread::scope` workers.
+///
+/// `parallelism` follows [`effective_parallelism`] semantics (`0` = auto, `1` =
+/// serial). Each worker pairs paths from a disjoint stride of sources; the
+/// coordinator merges the per-source results in ascending source order and applies
+/// the shared deduplication, so the output — contents *and* order — is identical at
+/// every worker count, keeping downstream evidence ids stable.
+pub fn enumerate_parallel_paths_parallel(
+    graph: &DiGraph,
+    max_len: usize,
+    parallelism: usize,
+) -> Vec<ParallelPaths> {
+    let node_count = graph.node_count();
+    let workers = effective_parallelism(parallelism).min(node_count.max(1));
+    if workers <= 1 {
+        return enumerate_parallel_paths(graph, max_len);
+    }
+    let mut per_source: Vec<Vec<ParallelPaths>> = vec![Vec::new(); node_count];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut source = worker;
+                    while source < node_count {
+                        out.push((
+                            source,
+                            pairs_from_source(graph, NodeId(source), max_len, None),
+                        ));
+                        source += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (source, pairs) in handle.join().expect("parallel-path worker panicked") {
+                per_source[source] = pairs;
+            }
+        }
+    });
+    dedup_merge(per_source)
+}
+
+/// Merges per-source candidate groups in order, deduplicating by canonical key —
+/// the single definition of the merge rule shared by the serial collection and the
+/// parallel fan-out (both must dedup identically or evidence ids drift).
+fn dedup_merge(groups: impl IntoIterator<Item = Vec<ParallelPaths>>) -> Vec<ParallelPaths> {
+    let mut found = Vec::new();
+    let mut seen: HashSet<(NodeId, NodeId, Vec<EdgeId>, Vec<EdgeId>)> = HashSet::new();
+    for group in groups {
+        for pp in group {
+            if seen.insert(pp.canonical_key()) {
+                found.push(pp);
+            }
+        }
+    }
+    found
+}
+
+/// All edge-disjoint pairs rooted at one source, in deterministic (destination,
+/// discovery) order — the per-worker unit of the enumeration. Destinations are
+/// grouped in a `BTreeMap` so the order never depends on hash seeding: evidence ids
+/// derived from this enumeration must be reproducible across runs and worker counts.
+fn pairs_from_source(
+    graph: &DiGraph,
+    source: NodeId,
+    max_len: usize,
+    required_edge: Option<EdgeId>,
+) -> Vec<ParallelPaths> {
+    let paths = simple_paths_from(graph, source, max_len);
+    // Group by destination.
+    let mut by_dest: BTreeMap<NodeId, Vec<&Vec<EdgeId>>> = BTreeMap::new();
+    for (dest, path) in &paths {
+        if *dest == source {
+            continue; // that's a cycle, handled elsewhere
+        }
+        by_dest.entry(*dest).or_default().push(path);
+    }
+    let mut out = Vec::new();
+    for (dest, group) in by_dest {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                let a = group[i];
+                let b = group[j];
+                if let Some(edge) = required_edge {
+                    if !a.contains(&edge) && !b.contains(&edge) {
+                        continue;
+                    }
+                }
+                if a.iter().any(|e| b.contains(e)) {
+                    continue; // must be edge-disjoint
+                }
+                out.push(ParallelPaths {
+                    source,
+                    destination: dest,
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// The shared pairing core of [`enumerate_parallel_paths`] and
 /// [`parallel_paths_through_edge`]: both entry points must group, pair, filter and
 /// deduplicate identically — the incremental/batch equivalence of the evidence
-/// analysis depends on it — so the rules live in exactly one place.
+/// analysis depends on it — so the rules live in exactly one place
+/// ([`pairs_from_source`] + [`dedup_merge`]).
 fn collect_parallel_paths(
     graph: &DiGraph,
     sources: impl Iterator<Item = NodeId>,
     max_len: usize,
     required_edge: Option<EdgeId>,
 ) -> Vec<ParallelPaths> {
-    let mut found = Vec::new();
-    let mut seen: HashSet<(NodeId, NodeId, Vec<EdgeId>, Vec<EdgeId>)> = HashSet::new();
-    for source in sources {
-        let paths = simple_paths_from(graph, source, max_len);
-        // Group by destination.
-        let mut by_dest: std::collections::HashMap<NodeId, Vec<&Vec<EdgeId>>> =
-            std::collections::HashMap::new();
-        for (dest, path) in &paths {
-            if *dest == source {
-                continue; // that's a cycle, handled elsewhere
-            }
-            by_dest.entry(*dest).or_default().push(path);
-        }
-        for (dest, group) in by_dest {
-            for i in 0..group.len() {
-                for j in (i + 1)..group.len() {
-                    let a = group[i];
-                    let b = group[j];
-                    if let Some(edge) = required_edge {
-                        if !a.contains(&edge) && !b.contains(&edge) {
-                            continue;
-                        }
-                    }
-                    if a.iter().any(|e| b.contains(e)) {
-                        continue; // must be edge-disjoint
-                    }
-                    let pp = ParallelPaths {
-                        source,
-                        destination: dest,
-                        left: a.clone(),
-                        right: b.clone(),
-                    };
-                    let key = pp.canonical_key();
-                    if seen.insert(key) {
-                        found.push(pp);
-                    }
-                }
-            }
-        }
-    }
-    found
+    dedup_merge(sources.map(|source| pairs_from_source(graph, source, max_len, required_edge)))
 }
 
 /// Enumerates the parallel-path pairs in which at least one branch uses `edge`.
@@ -310,6 +378,21 @@ mod tests {
         let (mut g, m) = paper_figure5();
         g.remove_edge(m[5]);
         assert!(parallel_paths_through_edge(&g, m[5], 3).is_empty());
+    }
+
+    #[test]
+    fn parallel_fanout_is_identical_to_serial_at_every_worker_count() {
+        let (g, _) = paper_figure5();
+        for max_len in 1..=4 {
+            let serial = enumerate_parallel_paths(&g, max_len);
+            for workers in [1, 2, 3, 4, 16] {
+                assert_eq!(
+                    enumerate_parallel_paths_parallel(&g, max_len, workers),
+                    serial,
+                    "max_len {max_len}, {workers} workers"
+                );
+            }
+        }
     }
 
     #[test]

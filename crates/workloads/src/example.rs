@@ -229,6 +229,7 @@ mod tests {
                 max_cycle_len: 10,
                 max_path_len: 8,
                 include_parallel_paths: true,
+                ..Default::default()
             },
         );
         let longest = analysis.evidences.iter().map(|e| e.len()).max().unwrap();

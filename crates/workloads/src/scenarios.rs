@@ -166,6 +166,7 @@ pub fn figure9_relative_error(
                 max_cycle_len: 6 + max_extra,
                 max_path_len: 4 + max_extra,
                 include_parallel_paths: true,
+                ..Default::default()
             },
         );
         // Restrict to the Creator attribute so the exact enumeration (2^n joint states)
@@ -239,6 +240,7 @@ pub fn figure10_cycle_length(max_len: usize, deltas: &[f64]) -> ScenarioResult {
                     max_cycle_len: max_len + 1,
                     max_path_len: 2,
                     include_parallel_paths: false,
+                    ..Default::default()
                 },
             );
             let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, delta);
@@ -321,6 +323,7 @@ pub fn figure12_precision(thetas: &[f64]) -> ScenarioResult {
                 max_cycle_len: 4,
                 max_path_len: 3,
                 include_parallel_paths: true,
+                ..Default::default()
             },
             embedded: EmbeddedConfig {
                 max_rounds: 30,

@@ -274,6 +274,7 @@ mod tests {
                 max_cycle_len: 3,
                 max_path_len: 2,
                 include_parallel_paths: false,
+                ..Default::default()
             },
         );
         assert!(

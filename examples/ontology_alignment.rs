@@ -33,6 +33,7 @@ fn main() {
                 max_cycle_len: 4,
                 max_path_len: 3,
                 include_parallel_paths: true,
+                ..Default::default()
             },
             embedded: EmbeddedConfig {
                 max_rounds: 30,

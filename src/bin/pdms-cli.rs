@@ -312,6 +312,7 @@ fn churn(options: &Options) -> Result<(), String> {
         max_cycle_len: 5,
         max_path_len: 3,
         include_parallel_paths: true,
+        ..Default::default()
     };
     let embedded = pdms::core::EmbeddedConfig {
         record_history: false,

@@ -59,6 +59,7 @@ fn synthetic_network_detection_beats_random_guessing() {
                 max_cycle_len: 5,
                 max_path_len: 3,
                 include_parallel_paths: true,
+                ..Default::default()
             },
             ..Default::default()
         },
@@ -87,6 +88,7 @@ fn ontology_alignment_scenario_runs_and_detects_errors() {
                 max_cycle_len: 3,
                 max_path_len: 2,
                 include_parallel_paths: true,
+                ..Default::default()
             },
             ..Default::default()
         },

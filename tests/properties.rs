@@ -76,6 +76,7 @@ proptest! {
             max_cycle_len: peers,
             max_path_len: 2,
             include_parallel_paths: false,
+            ..Default::default()
         });
         let model = MappingModel::build(&catalog, &analysis, Granularity::Fine, delta);
         prop_assume!(model.variable_count() <= 20);

@@ -18,6 +18,7 @@ fn engine_config() -> EngineConfig {
             max_cycle_len: 3,
             max_path_len: 2,
             include_parallel_paths: true,
+            ..Default::default()
         },
         ..Default::default()
     }
