@@ -1,0 +1,75 @@
+//! Hub-heavy evidence enumeration under the work-stealing schedule: end-to-end
+//! wall time at several worker counts, plus the schedule replay that quantifies the
+//! per-worker tail (the statistic `BENCH_enumeration_tail.json` commits — see
+//! `pdms_bench::enumeration_tail` for the methodology).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdms_bench::enumeration_tail::{
+    barrier_tail, bench_steal_config, fixture_subtask_costs, hub_fixtures, replay_static_split,
+    replay_work_stealing, static_baseline_pools,
+};
+use pdms_graph::{enumerate_cycles_scheduled, enumerate_parallel_paths_scheduled};
+
+fn bench_scheduled_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hub_heavy_enumeration");
+    group.sample_size(10);
+    let steal = bench_steal_config();
+    for fixture in hub_fixtures() {
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers_{workers}"), &fixture.name),
+                &fixture,
+                |b, fixture| {
+                    b.iter(|| {
+                        let cycles = enumerate_cycles_scheduled(
+                            &fixture.topology,
+                            fixture.analysis_config.max_cycle_len,
+                            workers,
+                            &steal,
+                        );
+                        let paths = enumerate_parallel_paths_scheduled(
+                            &fixture.topology,
+                            fixture.analysis_config.max_path_len,
+                            workers,
+                            &steal,
+                        );
+                        std::hint::black_box((cycles.len(), paths.len()));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedule_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_replay_tail");
+    group.sample_size(10);
+    for fixture in hub_fixtures() {
+        let pools = fixture_subtask_costs(&fixture, 4);
+        group.bench_with_input(
+            BenchmarkId::new("static_split", &fixture.name),
+            &pools,
+            |b, pools| {
+                b.iter(|| {
+                    std::hint::black_box(barrier_tail(
+                        &static_baseline_pools(pools),
+                        4,
+                        replay_static_split,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("work_stealing", &fixture.name),
+            &pools,
+            |b, pools| {
+                b.iter(|| std::hint::black_box(barrier_tail(pools, 4, replay_work_stealing)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduled_enumeration, bench_schedule_replay);
+criterion_main!(benches);

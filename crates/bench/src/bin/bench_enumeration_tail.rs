@@ -1,0 +1,141 @@
+//! Emits `BENCH_enumeration_tail.json`: the committed record of the per-worker
+//! enumeration tail on hub-heavy (scale-free) networks, static per-origin split vs
+//! the work-stealing schedule.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p pdms-bench --bin bench_enumeration_tail
+//! ```
+//!
+//! Per-subtask costs are measured serially by the costed enumerators and replayed
+//! under both schedules (see `pdms_bench::enumeration_tail` for why replay, not
+//! wall-clock, is the sound methodology on single-core hosts). "static" is the
+//! PR 2 stride — whole origins pinned to `origin % workers` — and "stealing" is the
+//! shared-injector schedule with hub origins split into first-hop subtasks.
+
+use pdms_bench::enumeration_tail::{
+    barrier_imbalance, barrier_tail, bench_steal_config, fixture_subtask_costs, hub_fixtures,
+    replay_static_split, replay_work_stealing, static_baseline_pools,
+};
+
+const WORKER_COUNTS: [usize; 4] = [2, 4, 8, 16];
+const REPEATS: usize = 3;
+
+fn main() {
+    let steal = bench_steal_config();
+    let mut fixture_entries = Vec::new();
+    for fixture in hub_fixtures() {
+        eprintln!("measuring {} ...", fixture.name);
+        let max_degree = fixture
+            .topology
+            .nodes()
+            .map(|n| fixture.topology.degree(n))
+            .max()
+            .unwrap_or(0);
+        let mut per_workers = Vec::new();
+        for &workers in &WORKER_COUNTS {
+            // Best-of-REPEATS on the *total* measured cost: per-subtask noise is
+            // dominated by the scheduler-relevant skew, but take the cleanest run.
+            let pools = (0..REPEATS)
+                .map(|_| fixture_subtask_costs(&fixture, workers))
+                .min_by_key(|pools| {
+                    pools
+                        .iter()
+                        .flatten()
+                        .map(|c| c.cost)
+                        .sum::<std::time::Duration>()
+                })
+                .expect("at least one repeat");
+            let subtasks: usize = pools.iter().map(Vec::len).sum();
+            let split_origins = {
+                let mut origins: Vec<usize> = pools
+                    .iter()
+                    .flatten()
+                    .filter(|c| c.subtask > 0)
+                    .map(|c| c.origin)
+                    .collect();
+                origins.sort_unstable();
+                origins.dedup();
+                origins.len()
+            };
+            // Barrier-faithful replay: the stealing policy runs three barriers
+            // (cycles / path enumeration / path pairing); the static baseline is
+            // replayed over the two barriers PR 2 actually ran (cycles; fused
+            // path enumerate-and-pair). Wall time = sum of per-pool tails.
+            let static_pools = static_baseline_pools(&pools);
+            let static_tail =
+                barrier_tail(&static_pools, workers, replay_static_split).as_secs_f64() * 1e3;
+            let stealing_tail =
+                barrier_tail(&pools, workers, replay_work_stealing).as_secs_f64() * 1e3;
+            let static_imb = barrier_imbalance(&static_pools, workers, replay_static_split);
+            let stealing_imb = barrier_imbalance(&pools, workers, replay_work_stealing);
+            per_workers.push(format!(
+                concat!(
+                    "        {{\n",
+                    "          \"workers\": {workers},\n",
+                    "          \"subtasks\": {subtasks},\n",
+                    "          \"split_origins\": {split_origins},\n",
+                    "          \"static_tail_ms\": {static_tail:.3},\n",
+                    "          \"stealing_tail_ms\": {stealing_tail:.3},\n",
+                    "          \"tail_speedup\": {speedup:.2},\n",
+                    "          \"static_imbalance\": {static_imb:.2},\n",
+                    "          \"stealing_imbalance\": {stealing_imb:.2}\n",
+                    "        }}"
+                ),
+                workers = workers,
+                subtasks = subtasks,
+                split_origins = split_origins,
+                static_tail = static_tail,
+                stealing_tail = stealing_tail,
+                speedup = static_tail / stealing_tail.max(f64::MIN_POSITIVE),
+                static_imb = static_imb,
+                stealing_imb = stealing_imb,
+            ));
+        }
+        fixture_entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"fixture\": \"{name}\",\n",
+                "      \"peers\": {peers},\n",
+                "      \"hub_exponent\": {exponent},\n",
+                "      \"mappings\": {mappings},\n",
+                "      \"max_degree\": {max_degree},\n",
+                "      \"evidences\": {evidences},\n",
+                "      \"schedules\": [\n{per_workers}\n      ]\n",
+                "    }}"
+            ),
+            name = fixture.name,
+            peers = fixture.peers,
+            exponent = fixture.hub_exponent,
+            mappings = fixture.topology.edge_count(),
+            max_degree = max_degree,
+            evidences = fixture.analysis.evidences.len(),
+            per_workers = per_workers.join(",\n"),
+        ));
+    }
+    let (threshold, granularity) = steal.resolved();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"enumeration_tail\",\n",
+            "  \"command\": \"cargo run --release -p pdms-bench --bin bench_enumeration_tail\",\n",
+            "  \"baseline\": \"static per-origin split (PR 2): whole origins pinned to origin % workers\",\n",
+            "  \"candidate\": \"work-stealing schedule: hub origins split into first-hop subtasks, shared injector\",\n",
+            "  \"methodology\": \"per-subtask costs measured serially, replayed per scheduling pool (cycles; path enumeration; path pairing) under both policies; tail = sum over pools of max per-worker busy time (pools are barriers)\",\n",
+            "  \"heavy_origin_threshold\": {threshold},\n",
+            "  \"steal_granularity\": {granularity},\n",
+            "  \"repeats\": {repeats},\n",
+            "  \"fixtures\": [\n{fixtures}\n  ]\n",
+            "}}\n"
+        ),
+        threshold = threshold,
+        granularity = granularity,
+        repeats = REPEATS,
+        fixtures = fixture_entries.join(",\n"),
+    );
+    let path = "BENCH_enumeration_tail.json";
+    std::fs::write(path, &json).expect("write BENCH_enumeration_tail.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

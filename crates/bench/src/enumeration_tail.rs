@@ -1,0 +1,291 @@
+//! Fixtures and schedule-replay machinery for the hub-heavy enumeration
+//! tail-latency comparison.
+//!
+//! Used by two entry points that must agree on methodology:
+//!
+//! * the `enumeration_tail` Criterion bench (`benches/enumeration_tail.rs`), for
+//!   interactive `cargo bench` runs;
+//! * the `bench_enumeration_tail` binary, which writes the committed
+//!   `BENCH_enumeration_tail.json` record comparing the PR 2 *static per-origin
+//!   split* against the work-stealing schedule.
+//!
+//! ## Why replay instead of wall-clock?
+//!
+//! The quantity under test is the **per-worker tail**: the busy time of the most
+//! loaded worker, which bounds the enumeration's wall-clock time on a multi-core
+//! host. Measuring it directly requires as many physical cores as workers —
+//! meaningless on the single-core containers CI runs in. So the costed enumerators
+//! ([`pdms_graph::cycle_subtask_costs`], [`pdms_graph::parallel_path_subtask_costs`])
+//! measure every work-stealing subtask *serially* (clean, uncontended per-subtask
+//! CPU costs), and this module replays those costs under both schedules:
+//!
+//! * **static split** (PR 2): origin `o` is pinned to worker `o % workers`, whole —
+//!   a hub origin lands on one worker in one piece;
+//! * **work-stealing**: subtasks are claimed in task order by whichever simulated
+//!   worker is free first — exactly the greedy assignment the shared-injector
+//!   scheduler produces, with hub origins pre-split into first-hop slices.
+//!
+//! The real enumeration runs three `run_stealing` **barriers** in sequence (cycle
+//! search; path phase-1 enumeration; path phase-2 pairing), and the replay models
+//! them faithfully: each pool is scheduled independently and the reported tail is
+//! the *sum* of the per-pool tails, because no subtask of a later pool can start
+//! before the earlier pool drains. The replayed per-worker busy times are
+//! deterministic given the measured costs; they model the schedule's load balance
+//! (per-pool assignment by cumulative busy time), not cross-core contention, so
+//! treat the ratios as the scheduling component of a multi-core speedup.
+
+use pdms_core::cycle_analysis::build_topology;
+use pdms_core::{AnalysisConfig, CycleAnalysis};
+use pdms_graph::{
+    cycle_subtask_costs, parallel_path_subtask_costs, DiGraph, StealConfig, SubtaskCost,
+};
+use pdms_workloads::hub_heavy_network;
+use std::time::Duration;
+
+/// One hub-heavy benchmark network plus the analysis bounds used on it.
+pub struct TailFixture {
+    /// Short fixture label (`scale_free_64` etc.).
+    pub name: String,
+    /// Number of peers.
+    pub peers: usize,
+    /// Preferential-attachment exponent used to generate it.
+    pub hub_exponent: f64,
+    /// The mapping-network topology (edge ids == mapping ids).
+    pub topology: DiGraph,
+    /// The evidence analysis (for reporting evidence counts).
+    pub analysis: CycleAnalysis,
+    /// The analysis bounds driving the enumeration under test.
+    pub analysis_config: AnalysisConfig,
+}
+
+/// The steal configuration the committed record uses: split origins of first-hop
+/// degree >= 4 into single-first-hop subtasks.
+pub fn bench_steal_config() -> StealConfig {
+    StealConfig {
+        heavy_origin_threshold: 4,
+        steal_granularity: 1,
+    }
+}
+
+/// Builds the standard hub-heavy fixtures: scale-free networks with super-linear
+/// preferential attachment (exponent 1.6), 64 and 96 peers.
+pub fn hub_fixtures() -> Vec<TailFixture> {
+    [(64usize, 2usize, 1.6f64, 5u64), (96, 2, 1.6, 9)]
+        .into_iter()
+        .map(|(peers, attachment, exponent, seed)| tail_fixture(peers, attachment, exponent, seed))
+        .collect()
+}
+
+/// Builds one hub-heavy fixture.
+pub fn tail_fixture(peers: usize, attachment: usize, hub_exponent: f64, seed: u64) -> TailFixture {
+    let analysis_config = AnalysisConfig {
+        max_cycle_len: 6,
+        max_path_len: 4,
+        include_parallel_paths: true,
+        parallelism: 1,
+        ..Default::default()
+    };
+    let network = hub_heavy_network(peers, attachment, hub_exponent, seed);
+    let topology = build_topology(&network.catalog);
+    let analysis = CycleAnalysis::analyze(&network.catalog, &analysis_config);
+    TailFixture {
+        name: format!("scale_free_{peers}"),
+        peers,
+        hub_exponent,
+        topology,
+        analysis,
+        analysis_config,
+    }
+}
+
+/// Measures the serial per-subtask costs of the fixture's full evidence
+/// enumeration, decomposed for `workers` — one entry per scheduling pool, in
+/// barrier order: cycle search, path phase-1 enumeration, path phase-2 pairing.
+/// Each pool corresponds to one `run_stealing` call in the real enumeration; a
+/// later pool cannot start before the earlier one drains, and the replay helpers
+/// respect that.
+pub fn fixture_subtask_costs(fixture: &TailFixture, workers: usize) -> Vec<Vec<SubtaskCost>> {
+    let steal = bench_steal_config();
+    let cycles = cycle_subtask_costs(
+        &fixture.topology,
+        fixture.analysis_config.max_cycle_len,
+        workers,
+        &steal,
+    );
+    let (path_enumeration, path_pairing) = parallel_path_subtask_costs(
+        &fixture.topology,
+        fixture.analysis_config.max_path_len,
+        workers,
+        &steal,
+    );
+    vec![cycles, path_enumeration, path_pairing]
+}
+
+/// Reshapes the three work-stealing pools into the barrier structure the PR 2
+/// static split actually ran: one cycle pool, plus one *fused* path pool — the
+/// static code enumerated and paired each source inside the same worker
+/// assignment, with no barrier between path enumeration and pairing. Replaying
+/// the static policy over the three stealing barriers would overstate its tail
+/// (the enumeration and pairing maxima can land on different workers and would be
+/// double-counted), so the static baseline must be replayed over these pools.
+pub fn static_baseline_pools(pools: &[Vec<SubtaskCost>]) -> Vec<Vec<SubtaskCost>> {
+    match pools {
+        [cycles, path_enumeration, path_pairing] => {
+            let mut fused_paths = path_enumeration.clone();
+            fused_paths.extend(path_pairing.iter().copied());
+            vec![cycles.clone(), fused_paths]
+        }
+        other => other.to_vec(),
+    }
+}
+
+/// Replays the PR 2 static per-origin split on one pool: origin `o`, whole, on
+/// worker `o % workers`. Returns per-worker busy times.
+pub fn replay_static_split(costs: &[SubtaskCost], workers: usize) -> Vec<Duration> {
+    let mut busy = vec![Duration::ZERO; workers.max(1)];
+    for cost in costs {
+        busy[cost.origin % workers.max(1)] += cost.cost;
+    }
+    busy
+}
+
+/// Replays the work-stealing schedule on one pool: subtasks are claimed in task
+/// order by the worker that is free first (ties broken by worker index — the
+/// deterministic greedy assignment a shared injector converges to). Returns
+/// per-worker busy times.
+pub fn replay_work_stealing(costs: &[SubtaskCost], workers: usize) -> Vec<Duration> {
+    let mut busy = vec![Duration::ZERO; workers.max(1)];
+    for cost in costs {
+        let (worker, _) = busy
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| **b)
+            .expect("at least one worker");
+        busy[worker] += cost.cost;
+    }
+    busy
+}
+
+/// The tail (maximum per-worker busy time) of one replayed pool.
+pub fn tail(busy: &[Duration]) -> Duration {
+    busy.iter().copied().max().unwrap_or(Duration::ZERO)
+}
+
+/// The wall-clock model of a whole barrier sequence under one replay policy: the
+/// sum of the per-pool tails — pool `k + 1` starts only when pool `k`'s slowest
+/// worker finishes, exactly like the real scheduler's `run_stealing` barriers.
+pub fn barrier_tail(
+    pools: &[Vec<SubtaskCost>],
+    workers: usize,
+    replay: impl Fn(&[SubtaskCost], usize) -> Vec<Duration>,
+) -> Duration {
+    pools.iter().map(|pool| tail(&replay(pool, workers))).sum()
+}
+
+/// Max/mean imbalance of a replayed barrier sequence (1.0 = perfectly balanced):
+/// the summed per-pool tails over the per-pool means — the factor by which the
+/// schedule's wall-clock model exceeds a perfectly balanced partition of the same
+/// work behind the same barriers.
+pub fn barrier_imbalance(
+    pools: &[Vec<SubtaskCost>],
+    workers: usize,
+    replay: impl Fn(&[SubtaskCost], usize) -> Vec<Duration>,
+) -> f64 {
+    let mut tail_total = 0.0;
+    let mut mean_total = 0.0;
+    for pool in pools {
+        let busy = replay(pool, workers);
+        let total: Duration = busy.iter().sum();
+        tail_total += tail(&busy).as_secs_f64();
+        mean_total += total.as_secs_f64() / busy.len().max(1) as f64;
+    }
+    if mean_total <= 0.0 {
+        return 1.0;
+    }
+    tail_total / mean_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(origin: usize, subtask: usize, micros: u64) -> SubtaskCost {
+        SubtaskCost {
+            origin,
+            subtask,
+            cost: Duration::from_micros(micros),
+        }
+    }
+
+    #[test]
+    fn static_split_pins_whole_origins() {
+        // Origins 0 and 2 on worker 0, origin 1 on worker 1.
+        let costs = [cost(0, 0, 10), cost(1, 0, 20), cost(2, 0, 30)];
+        let busy = replay_static_split(&costs, 2);
+        assert_eq!(busy[0], Duration::from_micros(40));
+        assert_eq!(busy[1], Duration::from_micros(20));
+    }
+
+    #[test]
+    fn work_stealing_flattens_a_split_hub() {
+        // A hub origin of four equal slices plus two light origins. Static: the hub
+        // (origin 0) lands whole on worker 0, joined by origin 2 -> tail 45.
+        // Stealing: slices spread evenly -> tail 25.
+        let costs = [
+            cost(0, 0, 10),
+            cost(0, 1, 10),
+            cost(0, 2, 10),
+            cost(0, 3, 10),
+            cost(1, 0, 5),
+            cost(2, 0, 5),
+        ];
+        let static_busy = replay_static_split(&costs, 2);
+        let stealing_busy = replay_work_stealing(&costs, 2);
+        assert_eq!(tail(&static_busy), Duration::from_micros(45));
+        assert_eq!(tail(&stealing_busy), Duration::from_micros(25));
+    }
+
+    #[test]
+    fn barrier_tail_sums_pool_tails_instead_of_pooling_across_barriers() {
+        // Two pools of one 10µs subtask each, on different origins. Pooled
+        // scheduling could overlap them (tail 10µs); the barrier model cannot —
+        // pool 2 waits for pool 1, so the modeled wall time is 20µs.
+        let pools = vec![vec![cost(0, 0, 10)], vec![cost(1, 0, 10)]];
+        assert_eq!(
+            barrier_tail(&pools, 2, replay_work_stealing),
+            Duration::from_micros(20)
+        );
+        // A perfectly balanced pool has imbalance 1.
+        let balanced = vec![vec![cost(0, 0, 10), cost(1, 0, 10)]];
+        let imb = barrier_imbalance(&balanced, 2, replay_work_stealing);
+        assert!((imb - 1.0).abs() < 1e-9, "imbalance {imb}");
+    }
+
+    #[test]
+    fn fixtures_have_hubs_and_replay_shows_a_flatter_tail() {
+        let fixture = tail_fixture(48, 2, 1.6, 5);
+        assert!(fixture.analysis.evidences.len() > 10);
+        let max_degree = fixture
+            .topology
+            .nodes()
+            .map(|n| fixture.topology.degree(n))
+            .max()
+            .unwrap();
+        assert!(max_degree >= 8, "expected a hub, max degree {max_degree}");
+        let pools = fixture_subtask_costs(&fixture, 4);
+        assert_eq!(pools.len(), 3, "cycles, path enumeration, path pairing");
+        // The hub is split: some origin contributes more than one subtask.
+        assert!(pools.iter().flatten().any(|c| c.subtask > 0));
+        let static_tail = barrier_tail(&static_baseline_pools(&pools), 4, replay_static_split);
+        let stealing_tail = barrier_tail(&pools, 4, replay_work_stealing);
+        // Greedy list scheduling is not universally optimal — a lucky static
+        // partition can win on an adversarial cost vector, and the inputs here are
+        // real timed measurements subject to host jitter — so allow 15% headroom;
+        // the hub split should still keep stealing in the static split's ballpark
+        // or better.
+        assert!(
+            stealing_tail.as_secs_f64() <= static_tail.as_secs_f64() * 1.15,
+            "stealing {stealing_tail:?} vs static {static_tail:?}"
+        );
+    }
+}

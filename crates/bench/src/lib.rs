@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod enumeration_tail;
 pub mod round_throughput;
 
 /// A labelled series of (x, y) points, printed as one column block.

@@ -84,6 +84,7 @@ pub fn fixture(peers: usize, probability: f64, topology_seed: u64) -> Fixture {
         max_path_len: 3,
         include_parallel_paths: true,
         parallelism: 1,
+        ..Default::default()
     };
     let network = SyntheticNetwork::generate(SyntheticConfig {
         topology: GeneratorConfig::erdos_renyi(peers, probability, topology_seed),

@@ -12,8 +12,8 @@
 
 use crate::feedback::{Feedback, FeedbackObservation};
 use pdms_graph::{
-    cycles_through_edge, enumerate_cycles_parallel, enumerate_parallel_paths_parallel,
-    parallel_paths_through_edge, DiGraph, EdgeId, NodeId,
+    cycles_through_edge, enumerate_cycles_scheduled, enumerate_parallel_paths_scheduled,
+    parallel_paths_through_edge, DiGraph, EdgeId, NodeId, StealConfig,
 };
 use pdms_schema::{AttributeId, Catalog, MappingId, PeerId};
 
@@ -81,9 +81,21 @@ pub struct AnalysisConfig {
     /// Worker threads for the full cycle / parallel-path enumerations: `0` = auto
     /// (the `PDMS_PARALLELISM` environment variable, else every available core), `1`
     /// = serial, `n` = exactly `n` workers. Results are identical at every setting —
-    /// the fan-out merges in deterministic origin order (see
-    /// [`pdms_graph::effective_parallelism`]).
+    /// the work-stealing fan-out merges in deterministic origin-then-subtask order
+    /// (see [`pdms_graph::effective_parallelism`]).
     pub parallelism: usize,
+    /// First-hop degree at which an origin counts as *heavy* and its DFS is split
+    /// into stealable subtasks (hub peers in scale-free networks). `0` = auto: the
+    /// `PDMS_HEAVY_ORIGIN_THRESHOLD` environment variable, else
+    /// [`pdms_graph::DEFAULT_HEAVY_ORIGIN_THRESHOLD`]. Scheduling only — results
+    /// are identical at every setting.
+    pub heavy_origin_threshold: usize,
+    /// First-hop edges per stolen subtask of a heavy origin. Smaller values flatten
+    /// the per-worker tail harder at slightly more scheduling overhead. `0` = auto:
+    /// the `PDMS_STEAL_GRANULARITY` environment variable, else
+    /// [`pdms_graph::DEFAULT_STEAL_GRANULARITY`]. Scheduling only — results are
+    /// identical at every setting.
+    pub steal_granularity: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -93,6 +105,18 @@ impl Default for AnalysisConfig {
             max_path_len: 4,
             include_parallel_paths: true,
             parallelism: 0,
+            heavy_origin_threshold: 0,
+            steal_granularity: 0,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The work-stealing schedule knobs as the graph layer consumes them.
+    pub fn steal_config(&self) -> StealConfig {
+        StealConfig {
+            heavy_origin_threshold: self.heavy_origin_threshold,
+            steal_granularity: self.steal_granularity,
         }
     }
 }
@@ -115,9 +139,12 @@ impl CycleAnalysis {
     /// evidence ids do not depend on the worker count.
     pub fn analyze(catalog: &Catalog, config: &AnalysisConfig) -> Self {
         let graph = build_topology(catalog);
+        let steal = config.steal_config();
         let mut evidences = Vec::new();
         // Directed cycles. Edge ids and mapping ids coincide by construction.
-        for cycle in enumerate_cycles_parallel(&graph, config.max_cycle_len, config.parallelism) {
+        for cycle in
+            enumerate_cycles_scheduled(&graph, config.max_cycle_len, config.parallelism, &steal)
+        {
             let origin = PeerId(cycle.nodes[0].0);
             evidences.push(EvidencePath {
                 id: evidences.len(),
@@ -127,9 +154,12 @@ impl CycleAnalysis {
             });
         }
         if config.include_parallel_paths {
-            for pp in
-                enumerate_parallel_paths_parallel(&graph, config.max_path_len, config.parallelism)
-            {
+            for pp in enumerate_parallel_paths_scheduled(
+                &graph,
+                config.max_path_len,
+                config.parallelism,
+                &steal,
+            ) {
                 let mut mappings: Vec<MappingId> = pp.left.iter().map(|e| MappingId(e.0)).collect();
                 let split = mappings.len();
                 mappings.extend(pp.right.iter().map(|e| MappingId(e.0)));

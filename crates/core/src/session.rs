@@ -94,6 +94,47 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the first-hop degree at which an origin peer counts as *heavy* and its
+    /// enumeration DFS is split into work-stealing subtasks (`0` = auto via
+    /// `PDMS_HEAVY_ORIGIN_THRESHOLD`, else the built-in default). Shorthand for
+    /// [`AnalysisConfig::heavy_origin_threshold`]. Scheduling only — evidence ids
+    /// are identical at every setting.
+    pub fn heavy_origin_threshold(mut self, threshold: usize) -> Self {
+        self.analysis.heavy_origin_threshold = threshold;
+        self
+    }
+
+    /// Sets how many first-hop edges each stolen subtask of a heavy origin covers
+    /// (`0` = auto via `PDMS_STEAL_GRANULARITY`, else the built-in default).
+    /// Shorthand for [`AnalysisConfig::steal_granularity`]. Scheduling only —
+    /// evidence ids are identical at every setting.
+    ///
+    /// ```
+    /// use pdms_core::Engine;
+    ///
+    /// let catalog = {
+    ///     let mut c = pdms_schema::Catalog::new();
+    ///     let a = c.add_peer_with_schema("a", |s| { s.attributes(["x"]); });
+    ///     let b = c.add_peer_with_schema("b", |s| { s.attributes(["x"]); });
+    ///     use pdms_schema::AttributeId;
+    ///     c.add_mapping(a, b, |m| m.correct(AttributeId(0), AttributeId(0)));
+    ///     c.add_mapping(b, a, |m| m.correct(AttributeId(0), AttributeId(0)));
+    ///     c
+    /// };
+    /// // Hub-splitting knobs never change the evidence — only how it is scheduled.
+    /// let fine = Engine::builder()
+    ///     .parallelism(4)
+    ///     .heavy_origin_threshold(1)
+    ///     .steal_granularity(1)
+    ///     .build(catalog.clone());
+    /// let serial = Engine::builder().parallelism(1).build(catalog);
+    /// assert_eq!(fine.analysis().evidences.len(), serial.analysis().evidences.len());
+    /// ```
+    pub fn steal_granularity(mut self, granularity: usize) -> Self {
+        self.analysis.steal_granularity = granularity;
+        self
+    }
+
     /// Sets the variable granularity (Section 4.1).
     pub fn granularity(mut self, granularity: Granularity) -> Self {
         self.granularity = granularity;

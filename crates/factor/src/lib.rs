@@ -17,7 +17,7 @@
 //! This crate is a self-contained implementation of that machinery:
 //!
 //! * [`belief`] — normalised two-state distributions and message arithmetic;
-//! * [`variable`] / [`factor`] — the factor-graph node types, with dense-table factors
+//! * [`factor`] — the factor-graph node types, with dense-table factors
 //!   for generality and a closed-form implementation of the feedback factor that avoids
 //!   the 2ⁿ table ([`feedback_factor`]);
 //! * [`graph`] — the bipartite factor-graph structure;

@@ -9,7 +9,7 @@
 //! so there is no value in paying the exponential cost of finding them all.
 
 use crate::adjacency::{DiGraph, EdgeId, NodeId};
-use crate::parallelism::effective_parallelism;
+use crate::parallelism::{effective_parallelism, run_stealing, timed, StealConfig, SubtaskCost};
 
 /// Whether a cycle was found following edge directions or ignoring them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,7 +84,13 @@ impl Cycle {
 /// duplicates that differ only by rotation are merged. Self-loops (length 1) are
 /// ignored: a mapping from a schema to itself provides no cross-peer evidence.
 pub fn enumerate_cycles(graph: &DiGraph, max_len: usize) -> Vec<Cycle> {
-    enumerate_impl(graph, max_len, CycleKind::Directed, 1)
+    enumerate_impl(
+        graph,
+        max_len,
+        CycleKind::Directed,
+        1,
+        &StealConfig::default(),
+    )
 }
 
 /// Enumerates all simple undirected cycles of length `3..=max_len`.
@@ -95,64 +101,171 @@ pub fn enumerate_cycles(graph: &DiGraph, max_len: usize) -> Vec<Cycle> {
 /// Length-2 cycles made of two *distinct* parallel or antiparallel edges are reported,
 /// as they do represent two independent mappings that can be compared.
 pub fn enumerate_undirected_cycles(graph: &DiGraph, max_len: usize) -> Vec<Cycle> {
-    enumerate_impl(graph, max_len, CycleKind::Undirected, 1)
+    enumerate_impl(
+        graph,
+        max_len,
+        CycleKind::Undirected,
+        1,
+        &StealConfig::default(),
+    )
 }
 
-/// [`enumerate_cycles`] fanned out over origin nodes with `std::thread::scope`
-/// workers.
+/// [`enumerate_cycles`] fanned out over work-stealing subtasks with
+/// `std::thread::scope` workers (default steal configuration; see
+/// [`enumerate_cycles_scheduled`] for explicit knobs).
 ///
 /// `parallelism` follows [`effective_parallelism`] semantics (`0` = auto, `1` =
-/// serial). The result — contents *and* order — is identical at every worker count:
-/// each worker searches a disjoint stride of origins without deduplicating, and the
-/// coordinator merges the per-origin candidate lists in ascending origin order,
-/// applying the exact dedup the serial enumeration applies. Stable ordering is what
-/// keeps downstream evidence ids reproducible.
+/// serial). The result — contents *and* order — is identical at every worker count.
 pub fn enumerate_cycles_parallel(
     graph: &DiGraph,
     max_len: usize,
     parallelism: usize,
 ) -> Vec<Cycle> {
-    enumerate_impl(graph, max_len, CycleKind::Directed, parallelism)
+    enumerate_impl(
+        graph,
+        max_len,
+        CycleKind::Directed,
+        parallelism,
+        &StealConfig::default(),
+    )
 }
 
-/// [`enumerate_undirected_cycles`] with the same origin-parallel fan-out as
+/// [`enumerate_undirected_cycles`] with the same work-stealing fan-out as
 /// [`enumerate_cycles_parallel`].
 pub fn enumerate_undirected_cycles_parallel(
     graph: &DiGraph,
     max_len: usize,
     parallelism: usize,
 ) -> Vec<Cycle> {
-    enumerate_impl(graph, max_len, CycleKind::Undirected, parallelism)
+    enumerate_impl(
+        graph,
+        max_len,
+        CycleKind::Undirected,
+        parallelism,
+        &StealConfig::default(),
+    )
+}
+
+/// [`enumerate_cycles`] under an explicit work-stealing schedule.
+///
+/// Origins whose first-hop degree reaches the heavy-origin threshold are split into
+/// `steal_granularity`-sized first-hop slices; all subtasks go through one shared
+/// injector that idle workers steal from, so a hub peer no longer pins a single
+/// worker while the rest drain their light origins and idle. Results are merged in
+/// deterministic origin-then-subtask order and deduplicated exactly like the serial
+/// enumeration, so contents *and* order — and therefore downstream evidence ids —
+/// are bit-identical at every `(parallelism, steal)` setting.
+pub fn enumerate_cycles_scheduled(
+    graph: &DiGraph,
+    max_len: usize,
+    parallelism: usize,
+    steal: &StealConfig,
+) -> Vec<Cycle> {
+    enumerate_impl(graph, max_len, CycleKind::Directed, parallelism, steal)
+}
+
+/// [`enumerate_undirected_cycles`] under an explicit work-stealing schedule (see
+/// [`enumerate_cycles_scheduled`]).
+pub fn enumerate_undirected_cycles_scheduled(
+    graph: &DiGraph,
+    max_len: usize,
+    parallelism: usize,
+    steal: &StealConfig,
+) -> Vec<Cycle> {
+    enumerate_impl(graph, max_len, CycleKind::Undirected, parallelism, steal)
+}
+
+/// The first hops a cycle search from `origin` iterates, in the exact order the
+/// serial DFS visits them (outgoing, then — undirected only — incoming). Subtask
+/// ranges index into this list, which is what makes slice-wise concatenation
+/// reproduce the serial discovery order.
+fn first_hops(graph: &DiGraph, origin: NodeId, kind: CycleKind) -> Vec<(EdgeId, NodeId)> {
+    match kind {
+        CycleKind::Directed => graph.outgoing(origin).map(|e| (e.id, e.target)).collect(),
+        CycleKind::Undirected => graph
+            .outgoing(origin)
+            .map(|e| (e.id, e.target))
+            .chain(graph.incoming(origin).map(|e| (e.id, e.source)))
+            .collect(),
+    }
+}
+
+/// Raw cycle candidates discovered from `origin` through the first hops in
+/// `hop_range` (indices into [`first_hops`]), in DFS discovery order, *without*
+/// any deduplication — the stealable unit of the enumeration. Concatenating the
+/// candidates of an origin's subtask ranges in range order reproduces the full
+/// origin search byte for byte, because the first-hop loop is the outermost level
+/// of the DFS.
+fn search_from_origin_hops(
+    graph: &DiGraph,
+    origin: NodeId,
+    hop_range: std::ops::Range<usize>,
+    max_len: usize,
+    kind: CycleKind,
+) -> Vec<Cycle> {
+    let mut found = Vec::new();
+    if max_len == 0 {
+        return found;
+    }
+    let hops = first_hops(graph, origin, kind);
+    let mut node_path = vec![origin];
+    let mut edge_path = Vec::new();
+    let mut on_path = vec![false; graph.node_count()];
+    on_path[origin.0] = true;
+    for &(edge, next) in &hops[hop_range.start.min(hops.len())..hop_range.end.min(hops.len())] {
+        if next == origin {
+            // Self-loop (the only way a first hop returns to the origin): skip, as
+            // the serial search does.
+            continue;
+        }
+        node_path.push(next);
+        edge_path.push(edge);
+        on_path[next.0] = true;
+        search(
+            graph,
+            origin,
+            next,
+            max_len - 1,
+            kind,
+            &mut node_path,
+            &mut edge_path,
+            &mut on_path,
+            &mut found,
+        );
+        on_path[next.0] = false;
+        edge_path.pop();
+        node_path.pop();
+    }
+    found
 }
 
 /// Simple cycles through `origin` (as the rotation start), in DFS discovery order,
 /// deduplicated *within* the origin (an undirected cycle is otherwise discovered
-/// once per traversal direction) but not across origins — the per-worker unit of
-/// the enumeration. Origin-local dedup keeps the buffered candidate lists
-/// proportional to the origin's unique cycles; first-discovery order is preserved,
-/// so the cross-origin merge still reproduces the serial enumeration exactly.
+/// once per traversal direction) but not across origins. Origin-local dedup keeps
+/// the buffered candidate lists proportional to the origin's unique cycles;
+/// first-discovery order is preserved, so the cross-origin merge still reproduces
+/// the serial enumeration exactly.
 fn search_from_origin(
     graph: &DiGraph,
     origin: NodeId,
     max_len: usize,
     kind: CycleKind,
 ) -> Vec<Cycle> {
-    let mut found = Vec::new();
-    let mut node_path = vec![origin];
-    let mut edge_path = Vec::new();
-    let mut on_path = vec![false; graph.node_count()];
-    on_path[origin.0] = true;
-    search(
+    let hop_count = match kind {
+        CycleKind::Directed => graph.out_degree(origin),
+        CycleKind::Undirected => graph.degree(origin),
+    };
+    dedup_within_origin(search_from_origin_hops(
         graph,
         origin,
-        origin,
+        0..hop_count,
         max_len,
         kind,
-        &mut node_path,
-        &mut edge_path,
-        &mut on_path,
-        &mut found,
-    );
+    ))
+}
+
+/// The origin-local half of the deduplication (see [`search_from_origin`]).
+fn dedup_within_origin(mut found: Vec<Cycle>) -> Vec<Cycle> {
     let mut local_seen: std::collections::HashSet<Vec<EdgeId>> =
         std::collections::HashSet::with_capacity(found.len());
     found.retain(|cycle| local_seen.insert(cycle.canonical_edges()));
@@ -175,15 +288,26 @@ fn merge_into(
     }
 }
 
-/// Merges per-origin candidate lists in origin order (the parallel coordinator's
-/// half of the merge; the serial path streams through [`merge_into`] directly).
-fn merge_deduplicated(per_origin: Vec<Vec<Cycle>>) -> Vec<Cycle> {
-    let mut found: Vec<Cycle> = Vec::new();
-    let mut seen: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
-    for candidates in per_origin {
-        merge_into(candidates, &mut seen, &mut found);
+/// The work-stealing task list of one enumeration: `(origin, first-hop range)`
+/// pairs in origin-then-subtask order — the deterministic merge order.
+fn cycle_tasks(
+    graph: &DiGraph,
+    kind: CycleKind,
+    workers: usize,
+    steal: &StealConfig,
+) -> Vec<(NodeId, std::ops::Range<usize>)> {
+    let steal = steal.pinned();
+    let mut tasks = Vec::with_capacity(graph.node_count());
+    for origin in graph.nodes() {
+        let hop_count = match kind {
+            CycleKind::Directed => graph.out_degree(origin),
+            CycleKind::Undirected => graph.degree(origin),
+        };
+        for range in steal.subtask_ranges(hop_count, workers) {
+            tasks.push((origin, range));
+        }
     }
-    found
+    tasks
 }
 
 fn enumerate_impl(
@@ -191,17 +315,18 @@ fn enumerate_impl(
     max_len: usize,
     kind: CycleKind,
     parallelism: usize,
+    steal: &StealConfig,
 ) -> Vec<Cycle> {
     if max_len < 2 {
         return Vec::new();
     }
     let node_count = graph.node_count();
     let workers = effective_parallelism(parallelism).min(node_count.max(1));
+    let mut found: Vec<Cycle> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
     if workers <= 1 {
         // Stream origin by origin: only one origin's candidates are buffered at a
         // time, matching the pre-refactor single-pass memory profile.
-        let mut found: Vec<Cycle> = Vec::new();
-        let mut seen: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
         for origin in graph.nodes() {
             merge_into(
                 search_from_origin(graph, origin, max_len, kind),
@@ -211,31 +336,64 @@ fn enumerate_impl(
         }
         return found;
     }
-    let mut per_origin: Vec<Vec<Cycle>> = vec![Vec::new(); node_count];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|worker| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut origin = worker;
-                    while origin < node_count {
-                        out.push((
-                            origin,
-                            search_from_origin(graph, NodeId(origin), max_len, kind),
-                        ));
-                        origin += workers;
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (origin, candidates) in handle.join().expect("cycle worker panicked") {
-                per_origin[origin] = candidates;
-            }
-        }
+    // Split heavy origins into first-hop subtasks and let idle workers steal them.
+    let tasks = cycle_tasks(graph, kind, workers, steal);
+    let results = run_stealing(workers, tasks.len(), |i| {
+        let (origin, ref range) = tasks[i];
+        search_from_origin_hops(graph, origin, range.clone(), max_len, kind)
     });
-    merge_deduplicated(per_origin)
+    // Merge in origin-then-subtask order: concatenating one origin's subtask
+    // results in range order reproduces the serial per-origin discovery order, so
+    // applying the same origin-local dedup followed by the same cross-origin merge
+    // yields byte-for-byte the serial enumeration.
+    let mut results = results.into_iter();
+    let mut index = 0;
+    while index < tasks.len() {
+        let origin = tasks[index].0;
+        let mut candidates = Vec::new();
+        while index < tasks.len() && tasks[index].0 == origin {
+            candidates.extend(results.next().expect("one result per task"));
+            index += 1;
+        }
+        merge_into(dedup_within_origin(candidates), &mut seen, &mut found);
+    }
+    found
+}
+
+/// Measures the serial cost of every work-stealing subtask of a directed-cycle
+/// enumeration, as it would be decomposed for `workers` workers.
+///
+/// Subtasks run one at a time on the calling thread, so each [`SubtaskCost`] is an
+/// uncontended per-subtask CPU cost. The tail-latency bench replays these costs
+/// under the static per-origin split and the work-stealing schedule to quantify how
+/// much a hub origin's tail shrinks — a measurement that stays meaningful on
+/// single-core hosts, where wall-clock speedups cannot show.
+pub fn cycle_subtask_costs(
+    graph: &DiGraph,
+    max_len: usize,
+    workers: usize,
+    steal: &StealConfig,
+) -> Vec<SubtaskCost> {
+    let tasks = cycle_tasks(graph, CycleKind::Directed, workers, steal);
+    let mut costs = Vec::with_capacity(tasks.len());
+    let mut subtask = 0;
+    let mut previous_origin = None;
+    for (origin, range) in tasks {
+        if previous_origin != Some(origin) {
+            subtask = 0;
+            previous_origin = Some(origin);
+        }
+        let (candidates, cost) =
+            timed(|| search_from_origin_hops(graph, origin, range, max_len, CycleKind::Directed));
+        std::hint::black_box(candidates.len());
+        costs.push(SubtaskCost {
+            origin: origin.0,
+            subtask,
+            cost,
+        });
+        subtask += 1;
+    }
+    costs
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -621,6 +779,67 @@ mod tests {
                     serial_undirected,
                     "undirected, max_len {max_len}, {workers} workers"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_schedule_is_identical_to_serial_for_every_steal_config() {
+        // A hub-and-ring graph: node 0 is a high-degree hub whose search gets split
+        // into first-hop subtasks at aggressive steal settings.
+        let mut g = DiGraph::with_nodes(8);
+        for i in 0..8 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 8));
+        }
+        for i in 1..8 {
+            g.add_edge(NodeId(0), NodeId(i));
+            g.add_edge(NodeId(i), NodeId(0));
+        }
+        for max_len in [3, 5] {
+            let serial = enumerate_cycles(&g, max_len);
+            let serial_undirected = enumerate_undirected_cycles(&g, max_len);
+            for workers in [2, 3, 8] {
+                for (threshold, granularity) in [(1, 1), (2, 3), (4, 2), (100, 1)] {
+                    let steal = StealConfig {
+                        heavy_origin_threshold: threshold,
+                        steal_granularity: granularity,
+                    };
+                    assert_eq!(
+                        enumerate_cycles_scheduled(&g, max_len, workers, &steal),
+                        serial,
+                        "directed, max_len {max_len}, {workers} workers, steal {steal:?}"
+                    );
+                    assert_eq!(
+                        enumerate_undirected_cycles_scheduled(&g, max_len, workers, &steal),
+                        serial_undirected,
+                        "undirected, max_len {max_len}, {workers} workers, steal {steal:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtask_costs_cover_every_origin_and_split_the_hub() {
+        let mut g = DiGraph::with_nodes(6);
+        for i in 1..6 {
+            g.add_edge(NodeId(0), NodeId(i));
+            g.add_edge(NodeId(i), NodeId((i % 5) + 1));
+        }
+        let steal = StealConfig {
+            heavy_origin_threshold: 3,
+            steal_granularity: 1,
+        };
+        let costs = cycle_subtask_costs(&g, 5, 4, &steal);
+        // Origin 0 has out-degree 5 >= threshold 3, so it contributes 5 subtasks.
+        let hub_subtasks = costs.iter().filter(|c| c.origin == 0).count();
+        assert_eq!(hub_subtasks, 5);
+        // Every origin appears, and subtask indices are dense per origin.
+        for origin in 0..6 {
+            let per_origin: Vec<_> = costs.iter().filter(|c| c.origin == origin).collect();
+            assert!(!per_origin.is_empty(), "origin {origin} missing");
+            for (i, entry) in per_origin.iter().enumerate() {
+                assert_eq!(entry.subtask, i);
             }
         }
     }

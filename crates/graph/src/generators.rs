@@ -43,6 +43,12 @@ pub struct GeneratorConfig {
     pub probability: f64,
     /// Edges attached per new node (scale-free) or nearest neighbours (small-world).
     pub attachment: usize,
+    /// Preferential-attachment exponent α for [`TopologyKind::ScaleFree`]: a new
+    /// peer attaches to an existing peer with probability ∝ degree^α. `1.0` is the
+    /// classic Barabási–Albert model; `α > 1` (super-linear attachment) concentrates
+    /// edges on ever fewer hubs, producing the extreme hub-heavy topologies the
+    /// work-stealing enumeration benchmarks use. Ignored by the other families.
+    pub hub_exponent: f64,
     /// RNG seed so every experiment is reproducible.
     pub seed: u64,
 }
@@ -54,6 +60,7 @@ impl Default for GeneratorConfig {
             peers: 8,
             probability: 0.2,
             attachment: 2,
+            hub_exponent: 1.0,
             seed: 42,
         }
     }
@@ -91,6 +98,26 @@ impl GeneratorConfig {
         }
     }
 
+    /// Convenience constructor for a hub-accentuated scale-free graph: preferential
+    /// attachment with super-linear exponent `hub_exponent` (> 1 concentrates the
+    /// degree distribution on a handful of hub peers — the realistic worst case for
+    /// per-origin enumeration balance).
+    pub fn scale_free_skewed(
+        peers: usize,
+        attachment: usize,
+        hub_exponent: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            kind: TopologyKind::ScaleFree,
+            peers,
+            attachment,
+            hub_exponent,
+            seed,
+            ..Self::default()
+        }
+    }
+
     /// Convenience constructor for a clustered small-world graph.
     pub fn small_world(peers: usize, neighbours: usize, rewire: f64, seed: u64) -> Self {
         Self {
@@ -99,6 +126,7 @@ impl GeneratorConfig {
             attachment: neighbours,
             probability: rewire,
             seed,
+            ..Self::default()
         }
     }
 
@@ -114,7 +142,12 @@ pub fn generate(config: &GeneratorConfig) -> DiGraph {
     match config.kind {
         TopologyKind::Ring => ring(config.peers),
         TopologyKind::ErdosRenyi => erdos_renyi(config.peers, config.probability, &mut rng),
-        TopologyKind::ScaleFree => scale_free(config.peers, config.attachment.max(1), &mut rng),
+        TopologyKind::ScaleFree => scale_free(
+            config.peers,
+            config.attachment.max(1),
+            config.hub_exponent,
+            &mut rng,
+        ),
         TopologyKind::ClusteredSmallWorld => small_world(
             config.peers,
             config.attachment.max(1),
@@ -148,14 +181,23 @@ fn erdos_renyi(n: usize, p: f64, rng: &mut StdRng) -> DiGraph {
     g
 }
 
-fn scale_free(n: usize, m: usize, rng: &mut StdRng) -> DiGraph {
+fn scale_free(n: usize, m: usize, alpha: f64, rng: &mut StdRng) -> DiGraph {
     let mut g = DiGraph::with_nodes(n);
     if n == 0 {
         return g;
     }
     // Repeated-node list for preferential attachment: a node appears once per incident
-    // edge endpoint, so sampling uniformly from the list is degree-proportional.
+    // edge endpoint, so sampling uniformly from the list is degree-proportional. For
+    // the classic α = 1 model the list *is* the distribution; for α ≠ 1 an explicit
+    // `max(degree, 1)^α` weight per *existing* node (the `max(…, 1)` floor keeps
+    // isolated bootstrap nodes reachable) is maintained incrementally alongside its
+    // running sum, so each draw costs one scan and no allocation.
     let mut endpoints: Vec<usize> = Vec::new();
+    let mut degrees: Vec<f64> = vec![0.0; n];
+    let mut weights: Vec<f64> = vec![0.0; n];
+    let mut weight_total = 0.0f64;
+    let classic = (alpha - 1.0).abs() < 1e-12;
+    let weight_of = |degree: f64| degree.max(1.0).powf(alpha);
     let seed_nodes = m.min(n.saturating_sub(1)).max(1);
     // Fully connect the first few nodes (in one direction) to bootstrap.
     for i in 0..seed_nodes.min(n) {
@@ -163,19 +205,34 @@ fn scale_free(n: usize, m: usize, rng: &mut StdRng) -> DiGraph {
             g.add_edge(NodeId(i), NodeId(j));
             endpoints.push(i);
             endpoints.push(j);
+            degrees[i] += 1.0;
+            degrees[j] += 1.0;
         }
     }
     if endpoints.is_empty() && n > 1 {
         g.add_edge(NodeId(0), NodeId(1));
         endpoints.push(0);
         endpoints.push(1);
+        degrees[0] += 1.0;
+        degrees[1] += 1.0;
+    }
+    if !classic {
+        // Seed nodes are the candidate pool for the first attachment round.
+        for j in 0..seed_nodes.min(n) {
+            weights[j] = weight_of(degrees[j]);
+            weight_total += weights[j];
+        }
     }
     for i in seed_nodes..n {
         let mut targets: Vec<usize> = Vec::new();
         let mut guard = 0;
         while targets.len() < m.min(i) && guard < 100 * m {
             guard += 1;
-            let &candidate = endpoints.choose(rng).expect("non-empty endpoint list");
+            let candidate = if classic {
+                *endpoints.choose(rng).expect("non-empty endpoint list")
+            } else {
+                weighted_draw(&weights[..i], weight_total, rng)
+            };
             if candidate != i && !targets.contains(&candidate) {
                 targets.push(candidate);
             }
@@ -190,9 +247,39 @@ fn scale_free(n: usize, m: usize, rng: &mut StdRng) -> DiGraph {
             }
             endpoints.push(i);
             endpoints.push(t);
+            degrees[i] += 1.0;
+            degrees[t] += 1.0;
+            if !classic {
+                let updated = weight_of(degrees[t]);
+                weight_total += updated - weights[t];
+                weights[t] = updated;
+            }
+        }
+        if !classic {
+            // Node i joins the candidate pool for the next attachment round.
+            weights[i] = weight_of(degrees[i]);
+            weight_total += weights[i];
         }
     }
     g
+}
+
+/// Samples an index of `weights` with probability ∝ its weight, given the
+/// precomputed sum of the slice — one linear scan, no allocation.
+fn weighted_draw(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    debug_assert!(!weights.is_empty());
+    debug_assert!(
+        (weights.iter().sum::<f64>() - total).abs() <= 1e-6 * total.max(1.0),
+        "weight total out of sync with the weights"
+    );
+    let mut draw = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (index, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return index;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
 }
 
 fn small_world(n: usize, k: usize, rewire: f64, rng: &mut StdRng) -> DiGraph {
@@ -276,6 +363,60 @@ mod tests {
             max_degree as f64 > 3.0 * mean_degree,
             "expected hub nodes: max {max_degree}, mean {mean_degree}"
         );
+    }
+
+    #[test]
+    fn scale_free_is_seed_deterministic() {
+        for exponent in [1.0, 1.5] {
+            let a = GeneratorConfig::scale_free_skewed(120, 2, exponent, 77).generate();
+            let b = GeneratorConfig::scale_free_skewed(120, 2, exponent, 77).generate();
+            let ea: Vec<_> = a.edges().map(|e| (e.source, e.target)).collect();
+            let eb: Vec<_> = b.edges().map(|e| (e.source, e.target)).collect();
+            assert_eq!(ea, eb, "exponent {exponent}");
+            let c = GeneratorConfig::scale_free_skewed(120, 2, exponent, 78).generate();
+            let ec: Vec<_> = c.edges().map(|e| (e.source, e.target)).collect();
+            assert_ne!(ea, ec, "different seeds must differ (exponent {exponent})");
+        }
+    }
+
+    #[test]
+    fn scale_free_degree_distribution_is_heavy_tailed() {
+        let g = GeneratorConfig::scale_free(300, 2, 13).generate();
+        let mut degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = degrees.iter().sum();
+        // Attachment preserved: every non-seed node brought ~m edges.
+        assert!(g.edge_count() >= 298 * 2 / 2);
+        // Heavy tail: the top 10% of peers hold well over their uniform share (10%)
+        // of the degree mass, and the median degree sits near the attachment floor.
+        let top_decile: usize = degrees.iter().take(30).sum();
+        assert!(
+            top_decile as f64 > 0.25 * total as f64,
+            "top decile holds {top_decile} of {total}"
+        );
+        let median = degrees[degrees.len() / 2];
+        assert!(median <= 4, "median degree {median}");
+    }
+
+    #[test]
+    fn super_linear_attachment_is_more_hub_concentrated() {
+        let classic = GeneratorConfig::scale_free_skewed(200, 2, 1.0, 11).generate();
+        let skewed = GeneratorConfig::scale_free_skewed(200, 2, 1.8, 11).generate();
+        let max_share = |g: &DiGraph| {
+            let total: usize = g.nodes().map(|n| g.degree(n)).sum();
+            let max = g.nodes().map(|n| g.degree(n)).max().unwrap();
+            max as f64 / total as f64
+        };
+        let classic_share = max_share(&classic);
+        let skewed_share = max_share(&skewed);
+        assert!(
+            skewed_share > classic_share,
+            "super-linear attachment should concentrate degree mass: \
+             alpha=1.8 share {skewed_share:.3} vs alpha=1 share {classic_share:.3}"
+        );
+        // And the skew is substantial: the biggest hub touches a large slice of all
+        // edge endpoints.
+        assert!(skewed_share > 0.1, "hub share {skewed_share:.3}");
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //! * **parallel paths** (directed case) — pairs of edge-disjoint directed paths sharing
 //!   the same source and destination peer.
 //!
-//! This crate provides the graph data structures, bounded enumeration of both features,
-//! TTL-bounded flooding used by probe messages, topology metrics (clustering
-//! coefficient, degree distribution) and the random generators used by the evaluation
-//! (rings, Erdős–Rényi, Barabási–Albert scale-free, and clustered small-world graphs).
+//! This crate provides the graph data structures, bounded enumeration of both features
+//! (serial, or parallel under a work-stealing schedule that splits hub origins into
+//! stealable first-hop subtasks — see [`parallelism`]), TTL-bounded flooding used by
+//! probe messages, topology metrics (clustering coefficient, degree distribution) and
+//! the random generators used by the evaluation (rings, Erdős–Rényi, Barabási–Albert
+//! scale-free — optionally with super-linear preferential attachment for extra-skewed
+//! hub-heavy networks — and clustered small-world graphs).
 //!
 //! The crate is deliberately free of any PDMS-specific notion: nodes and edges carry
 //! opaque indices so the same structures back the mapping network, the factor graph
@@ -34,8 +37,9 @@ pub mod traversal;
 pub use adjacency::{DiGraph, EdgeId, EdgeRef, NodeId};
 pub use components::{condensation_edges, strongly_connected_components, Condensation};
 pub use cycles::{
-    cycles_through_edge, enumerate_cycles, enumerate_cycles_parallel, enumerate_undirected_cycles,
-    enumerate_undirected_cycles_parallel, Cycle, CycleKind,
+    cycle_subtask_costs, cycles_through_edge, enumerate_cycles, enumerate_cycles_parallel,
+    enumerate_cycles_scheduled, enumerate_undirected_cycles, enumerate_undirected_cycles_parallel,
+    enumerate_undirected_cycles_scheduled, Cycle, CycleKind,
 };
 pub use generators::{GeneratorConfig, TopologyKind};
 pub use loops::{
@@ -43,9 +47,13 @@ pub use loops::{
     LoopCensus,
 };
 pub use metrics::{clustering_coefficient, degree_distribution, GraphMetrics};
-pub use parallelism::{effective_parallelism, PARALLELISM_ENV};
+pub use parallelism::{
+    effective_parallelism, run_stealing, StealConfig, SubtaskCost, DEFAULT_HEAVY_ORIGIN_THRESHOLD,
+    DEFAULT_STEAL_GRANULARITY, HEAVY_ORIGIN_THRESHOLD_ENV, PARALLELISM_ENV, STEAL_GRANULARITY_ENV,
+};
 pub use paths::{
-    enumerate_parallel_paths, enumerate_parallel_paths_parallel, parallel_paths_through_edge,
+    enumerate_parallel_paths, enumerate_parallel_paths_parallel,
+    enumerate_parallel_paths_scheduled, parallel_path_subtask_costs, parallel_paths_through_edge,
     ParallelPaths,
 };
 pub use traversal::{bfs_order, connected_components, flood, FloodRecord};

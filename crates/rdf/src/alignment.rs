@@ -1,8 +1,8 @@
 //! The "simple RDF mapping" format: alignment documents between two ontologies.
 //!
 //! The paper's tool reads "simple RDF mappings (following the format introduced in
-//! [18])", i.e. the KnowledgeWeb / INRIA Alignment format also produced by the
-//! alignment API of reference [10]: an `<Alignment>` element naming the two ontologies
+//! \[18\])", i.e. the KnowledgeWeb / INRIA Alignment format also produced by the
+//! alignment API of reference \[10\]: an `<Alignment>` element naming the two ontologies
 //! and containing one `<Cell>` per correspondence, each with `entity1`, `entity2`, a
 //! `relation` (always `=` for the equivalences this paper deals with) and a confidence
 //! `measure`. This module parses and produces that format.

@@ -1,7 +1,7 @@
 //! A simple automatic schema aligner based on string similarity.
 //!
 //! The real-world experiment of the paper (Figure 12) aligns six bibliographic
-//! ontologies with "the simple alignment techniques described in [10]" — i.e. automatic
+//! ontologies with "the simple alignment techniques described in \[10\]" — i.e. automatic
 //! matchers built on name similarity. This module implements such a matcher: attribute
 //! names are normalised, compared with a blend of normalised Levenshtein distance and
 //! token overlap, and the best-scoring candidate above a threshold becomes the proposed

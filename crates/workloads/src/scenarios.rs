@@ -8,11 +8,14 @@
 
 use crate::example::{growing_cycle, intro_network, simple_cycle, CREATOR, ITEM};
 use crate::ontology::{generate_ontology_suite, OntologySuiteConfig};
+use crate::synthetic::{SyntheticConfig, SyntheticNetwork};
+use pdms_core::cycle_analysis::build_topology;
 use pdms_core::{
     exact_posteriors, precision_recall, run_embedded, AnalysisConfig, CycleAnalysis,
     EmbeddedConfig, Engine, EngineConfig, Granularity, MappingModel, PriorStore, RoutingPolicy,
     VariableKey,
 };
+use pdms_graph::GeneratorConfig;
 use pdms_schema::{PeerId, Predicate, Query};
 use std::collections::BTreeMap;
 
@@ -72,11 +75,14 @@ pub enum Scenario {
     IntroExample,
     /// Section 6: comparison with the cycle-voting heuristic.
     BaselineComparison,
+    /// Scale-free (hub-heavy) network: evidence enumeration balance under the
+    /// work-stealing schedule, with worker-count invariance checked in-scenario.
+    HubHeavyEnumeration,
 }
 
 impl Scenario {
     /// All scenarios in paper order.
-    pub fn all() -> [Scenario; 7] {
+    pub fn all() -> [Scenario; 8] {
         [
             Scenario::Figure7Convergence,
             Scenario::Figure9RelativeError,
@@ -85,6 +91,7 @@ impl Scenario {
             Scenario::Figure12Precision,
             Scenario::IntroExample,
             Scenario::BaselineComparison,
+            Scenario::HubHeavyEnumeration,
         ]
     }
 
@@ -102,8 +109,119 @@ impl Scenario {
             }
             Scenario::IntroExample => intro_example(),
             Scenario::BaselineComparison => baseline_comparison(),
+            Scenario::HubHeavyEnumeration => hub_heavy_enumeration(48, 2, 1.6, 2006),
         }
     }
+}
+
+/// Builds the hub-heavy (super-linear preferential attachment) synthetic network
+/// used by the enumeration-balance scenario and the tail-latency bench.
+pub fn hub_heavy_network(
+    peers: usize,
+    attachment: usize,
+    hub_exponent: f64,
+    seed: u64,
+) -> SyntheticNetwork {
+    SyntheticNetwork::generate(SyntheticConfig {
+        topology: GeneratorConfig::scale_free_skewed(peers, attachment, hub_exponent, seed),
+        attributes: 4,
+        error_rate: 0.08,
+        seed,
+    })
+}
+
+/// Scale-free PDMS: how unevenly the evidence is distributed over origin peers —
+/// the imbalance the work-stealing enumeration schedule exists to absorb — plus an
+/// in-scenario check that evidence ids are identical at 1, 2 and 4 workers under an
+/// aggressive steal configuration.
+pub fn hub_heavy_enumeration(
+    peers: usize,
+    attachment: usize,
+    hub_exponent: f64,
+    seed: u64,
+) -> ScenarioResult {
+    let network = hub_heavy_network(peers, attachment, hub_exponent, seed);
+    let serial_config = AnalysisConfig {
+        max_cycle_len: 4,
+        max_path_len: 3,
+        include_parallel_paths: true,
+        parallelism: 1,
+        ..Default::default()
+    };
+    let analysis = CycleAnalysis::analyze(&network.catalog, &serial_config);
+    let mut identical = true;
+    for workers in [2usize, 4] {
+        let stealing = CycleAnalysis::analyze(
+            &network.catalog,
+            &AnalysisConfig {
+                parallelism: workers,
+                heavy_origin_threshold: 2,
+                steal_granularity: 1,
+                ..serial_config.clone()
+            },
+        );
+        identical &= stealing.evidences == analysis.evidences;
+    }
+
+    let topology = build_topology(&network.catalog);
+    let mut result = ScenarioResult::new("hub-heavy-enumeration");
+    // Degree distribution: the scale-free signature (x = degree, y = peer count).
+    let mut by_degree: BTreeMap<usize, usize> = BTreeMap::new();
+    for node in topology.nodes() {
+        *by_degree.entry(topology.degree(node)).or_default() += 1;
+    }
+    result.push_series(
+        "degree distribution",
+        by_degree
+            .iter()
+            .map(|(d, c)| (*d as f64, *c as f64))
+            .collect(),
+    );
+    // Evidence mass per origin peer, descending: the per-origin imbalance a static
+    // partition inherits directly as its per-worker tail.
+    let mut per_origin = vec![0usize; network.catalog.peer_count()];
+    for evidence in &analysis.evidences {
+        let origin = match evidence.source {
+            pdms_core::EvidenceSource::Cycle { origin } => origin.0,
+            pdms_core::EvidenceSource::ParallelPaths { source, .. } => source.0,
+        };
+        per_origin[origin] += 1;
+    }
+    let mut shares: Vec<usize> = per_origin.clone();
+    shares.sort_unstable_by(|a, b| b.cmp(a));
+    result.push_series(
+        "evidence per origin (descending)",
+        shares
+            .iter()
+            .enumerate()
+            .map(|(rank, count)| (rank as f64, *count as f64))
+            .collect(),
+    );
+    let total_evidence: usize = per_origin.iter().sum();
+    let max_degree = topology
+        .nodes()
+        .map(|n| topology.degree(n))
+        .max()
+        .unwrap_or(0);
+    let mean_degree = if peers > 0 {
+        topology.nodes().map(|n| topology.degree(n)).sum::<usize>() as f64 / peers as f64
+    } else {
+        0.0
+    };
+    result.note("peers", peers);
+    result.note("mappings", network.catalog.mapping_count());
+    result.note("hub exponent", hub_exponent);
+    result.note("max degree", max_degree);
+    result.note("mean degree", format!("{mean_degree:.2}"));
+    result.note("evidence paths", analysis.evidences.len());
+    if total_evidence > 0 {
+        result.note(
+            "top-origin evidence share",
+            format!("{:.3}", shares[0] as f64 / total_evidence as f64),
+        );
+    }
+    result.note("identical evidence at 1/2/4 workers", identical);
+    result
 }
 
 fn intro_model(delta: f64) -> (pdms_schema::Catalog, MappingModel, CycleAnalysis) {
@@ -557,6 +675,34 @@ mod tests {
         };
         assert!(get("cycle-voting: false positives") > get("probabilistic: false positives"));
         assert!(get("probabilistic: precision") >= get("cycle-voting: precision"));
+    }
+
+    #[test]
+    fn hub_heavy_enumeration_is_skewed_and_worker_invariant() {
+        let result = hub_heavy_enumeration(40, 2, 1.6, 7);
+        let get = |label: &str| -> String {
+            result
+                .notes
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing note {label}"))
+        };
+        assert_eq!(get("identical evidence at 1/2/4 workers"), "true");
+        let max_degree: f64 = get("max degree").parse().unwrap();
+        let mean_degree: f64 = get("mean degree").parse().unwrap();
+        assert!(
+            max_degree > 2.0 * mean_degree,
+            "expected hubs: max {max_degree}, mean {mean_degree}"
+        );
+        let shares = result
+            .series_named("evidence per origin (descending)")
+            .unwrap();
+        assert!(!shares.is_empty());
+        // The heaviest origin carries strictly more evidence than the median one —
+        // the imbalance that motivates splitting hub origins.
+        let median = shares[shares.len() / 2].1;
+        assert!(shares[0].1 > median, "top {} median {median}", shares[0].1);
     }
 
     #[test]

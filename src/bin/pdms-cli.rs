@@ -77,11 +77,19 @@ USAGE:
       four-peer art network and route the introductory query around it.
 
   pdms-cli churn [--peers <n>] [--epochs <n>] [--seed <n>]
-      Generate a synthetic clustered network and drive an incremental engine session
-      through epochs of churn (corruptions, repairs, new mappings), printing per
-      epoch how much evidence was reused versus invalidated and how many
-      warm-started inference rounds were needed, compared against a full
-      from-scratch recompute.
+                 [--topology small-world|scale-free|hub-heavy|erdos-renyi|ring]
+                 [--hub-exponent <a>] [--parallelism <n>]
+                 [--steal-granularity <n>] [--heavy-threshold <n>]
+      Generate a synthetic network and drive an incremental engine session through
+      epochs of churn (corruptions, repairs, new mappings), printing per epoch how
+      much evidence was reused versus invalidated and how many warm-started
+      inference rounds were needed, compared against a full from-scratch recompute.
+      `--topology hub-heavy` selects the scale-free network with super-linear
+      preferential attachment (exponent --hub-exponent, default 1.6) whose hub
+      peers the work-stealing enumeration splits into stolen subtasks;
+      --parallelism / --steal-granularity / --heavy-threshold expose the
+      scheduling knobs (0 = auto via PDMS_PARALLELISM / PDMS_STEAL_GRANULARITY /
+      PDMS_HEAVY_ORIGIN_THRESHOLD).
 ";
 
 #[derive(Debug, Default)]
@@ -301,9 +309,28 @@ fn churn(options: &Options) -> Result<(), String> {
     let peers: usize = options.parsed("peers", 16)?;
     let epochs: usize = options.parsed("epochs", 8)?;
     let seed: u64 = options.parsed("seed", 2006)?;
+    let hub_exponent: f64 = options.parsed("hub-exponent", 1.6)?;
+    let parallelism: usize = options.parsed("parallelism", 0)?;
+    let steal_granularity: usize = options.parsed("steal-granularity", 0)?;
+    let heavy_threshold: usize = options.parsed("heavy-threshold", 0)?;
 
+    let topology = match options.get("topology").unwrap_or("small-world") {
+        "small-world" => pdms::graph::GeneratorConfig::small_world(peers, 2, 0.2, seed),
+        "scale-free" => pdms::graph::GeneratorConfig::scale_free(peers, 2, seed),
+        "hub-heavy" => {
+            pdms::graph::GeneratorConfig::scale_free_skewed(peers, 2, hub_exponent, seed)
+        }
+        "erdos-renyi" => pdms::graph::GeneratorConfig::erdos_renyi(peers, 0.15, seed),
+        "ring" => pdms::graph::GeneratorConfig::ring(peers),
+        other => {
+            return Err(format!(
+                "unknown --topology `{other}` (expected small-world, scale-free, hub-heavy, \
+                 erdos-renyi or ring)"
+            ))
+        }
+    };
     let network = SyntheticNetwork::generate(SyntheticConfig {
-        topology: pdms::graph::GeneratorConfig::small_world(peers, 2, 0.2, seed),
+        topology,
         attributes: 8,
         error_rate: 0.1,
         seed,
@@ -312,7 +339,9 @@ fn churn(options: &Options) -> Result<(), String> {
         max_cycle_len: 5,
         max_path_len: 3,
         include_parallel_paths: true,
-        ..Default::default()
+        parallelism,
+        steal_granularity,
+        heavy_origin_threshold: heavy_threshold,
     };
     let embedded = pdms::core::EmbeddedConfig {
         record_history: false,
@@ -324,7 +353,8 @@ fn churn(options: &Options) -> Result<(), String> {
         .delta(0.1)
         .build(network.catalog.clone());
     println!(
-        "synthetic network: {} peers, {} mappings, {} evidence paths; cold build took {} rounds",
+        "synthetic {} network: {} peers, {} mappings, {} evidence paths; cold build took {} rounds",
+        options.get("topology").unwrap_or("small-world"),
         session.catalog().peer_count(),
         session.catalog().mapping_count(),
         session.analysis().evidences.len(),

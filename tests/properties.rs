@@ -119,4 +119,71 @@ proptest! {
             prop_assert_eq!(*a < 0.5, *b < 0.5, "reliable {} vs lossy {}", a, b);
         }
     }
+
+    /// Work-stealing enumeration is bit-identical to the serial enumeration — cycles
+    /// and parallel paths, contents *and* order — for arbitrary scale-free (hub-heavy)
+    /// topologies, worker counts, and steal configurations.
+    #[test]
+    fn work_stealing_enumeration_is_deterministic(
+        peers in 8usize..28,
+        attachment in 1usize..4,
+        topo_seed in 0u64..500,
+        workers in 2usize..6,
+        heavy_threshold in 1usize..6,
+        granularity in 1usize..4,
+    ) {
+        use pdms::graph::{
+            enumerate_cycles, enumerate_cycles_scheduled, enumerate_parallel_paths,
+            enumerate_parallel_paths_scheduled, GeneratorConfig, StealConfig,
+        };
+        let graph = GeneratorConfig::scale_free_skewed(peers, attachment, 1.6, topo_seed)
+            .generate();
+        let steal = StealConfig {
+            heavy_origin_threshold: heavy_threshold,
+            steal_granularity: granularity,
+        };
+        let serial_cycles = enumerate_cycles(&graph, 5);
+        let stolen_cycles = enumerate_cycles_scheduled(&graph, 5, workers, &steal);
+        prop_assert_eq!(serial_cycles, stolen_cycles);
+        let serial_paths = enumerate_parallel_paths(&graph, 3);
+        let stolen_paths = enumerate_parallel_paths_scheduled(&graph, 3, workers, &steal);
+        prop_assert_eq!(serial_paths, stolen_paths);
+    }
+
+    /// The full evidence analysis — evidence ids included — does not depend on the
+    /// worker count or the steal knobs, so a session built at any parallelism serves
+    /// the same posteriors.
+    #[test]
+    fn evidence_ids_survive_any_schedule(
+        peers in 6usize..16,
+        topo_seed in 0u64..200,
+        workers in 2usize..5,
+        granularity in 1usize..3,
+    ) {
+        use pdms::graph::GeneratorConfig;
+        use pdms::workloads::{SyntheticConfig, SyntheticNetwork};
+        let network = SyntheticNetwork::generate(SyntheticConfig {
+            topology: GeneratorConfig::scale_free_skewed(peers, 2, 1.5, topo_seed),
+            attributes: 3,
+            error_rate: 0.1,
+            seed: topo_seed,
+        });
+        let serial = CycleAnalysis::analyze(&network.catalog, &AnalysisConfig {
+            max_cycle_len: 4,
+            max_path_len: 3,
+            include_parallel_paths: true,
+            parallelism: 1,
+            ..Default::default()
+        });
+        let scheduled = CycleAnalysis::analyze(&network.catalog, &AnalysisConfig {
+            max_cycle_len: 4,
+            max_path_len: 3,
+            include_parallel_paths: true,
+            parallelism: workers,
+            heavy_origin_threshold: 2,
+            steal_granularity: granularity,
+        });
+        prop_assert_eq!(&serial.evidences, &scheduled.evidences);
+        prop_assert_eq!(serial.observations.len(), scheduled.observations.len());
+    }
 }
