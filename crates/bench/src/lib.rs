@@ -9,6 +9,7 @@
 
 pub mod enumeration_tail;
 pub mod round_throughput;
+pub mod shard_scaling;
 
 /// A labelled series of (x, y) points, printed as one column block.
 #[derive(Debug, Clone)]

@@ -96,6 +96,20 @@ pub struct AnalysisConfig {
     /// [`pdms_graph::DEFAULT_STEAL_GRANULARITY`]. Scheduling only — results are
     /// identical at every setting.
     pub steal_granularity: usize,
+    /// Worker threads a [`crate::sharding::ShardedSession`] dispatches its
+    /// component shards over: `0` = auto (the `PDMS_SHARD_PARALLELISM` environment
+    /// variable, else every available core), `1` = serial, `n` = exactly `n`
+    /// workers. Distinct from [`AnalysisConfig::parallelism`], which fans out
+    /// *within* one enumeration. Scheduling only — per-shard results merge by
+    /// global mapping id, so posteriors are identical at every setting. Ignored by
+    /// non-sharded sessions.
+    pub shard_parallelism: usize,
+    /// Ingestion batch size of a [`crate::sharding::ShardedSession`]: event slices
+    /// longer than this are split into consecutive batches of at most this many
+    /// events, each triggering one inference pass per touched shard. `0` = auto
+    /// (the `PDMS_BATCH_SIZE` environment variable, else "one batch per submitted
+    /// slice"). Ignored by non-sharded sessions.
+    pub batch_size: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -107,6 +121,8 @@ impl Default for AnalysisConfig {
             parallelism: 0,
             heavy_origin_threshold: 0,
             steal_granularity: 0,
+            shard_parallelism: 0,
+            batch_size: 0,
         }
     }
 }
@@ -254,9 +270,14 @@ impl CycleAnalysis {
         mapping: MappingId,
         config: &AnalysisConfig,
     ) -> AnalysisDelta {
+        // The invariant targeted searches rely on is *id alignment*: one edge slot
+        // per mapping slot, tombstones included. Live counts may legitimately
+        // differ transiently — a batch-coalesced add/remove pair tombstones its
+        // mirror edge while the catalog still counts the mapping live until the
+        // removal event is reached.
         debug_assert_eq!(
-            graph.edge_count(),
-            catalog.mapping_count(),
+            graph.edge_slot_count(),
+            catalog.mapping_slot_count(),
             "topology mirror out of sync with the catalog"
         );
         let edge = EdgeId(mapping.0);

@@ -47,6 +47,15 @@ pub enum NetworkEvent {
         /// The mapping to remove.
         mapping: MappingId,
     },
+    /// A peer leaves the network: every live mapping departing from or arriving at
+    /// it is withdrawn (tombstoned). The peer id slot itself survives, as an
+    /// isolated node, so peer identifiers stay stable — rejoining is modelled by
+    /// declaring new mappings to or from the same peer. The event is a no-op when
+    /// the peer has no live mappings.
+    RemovePeer {
+        /// The peer leaving the network.
+        peer: PeerId,
+    },
     /// An existing correspondence is corrupted: the attribute is re-routed to a wrong
     /// target (the previous ground truth is preserved so the corruption is detectable).
     Corrupt {
@@ -85,6 +94,10 @@ pub enum EventEffect {
     MappingAdded(MappingId),
     /// A mapping was removed: every evidence path through it is gone.
     MappingRemoved(MappingId),
+    /// A peer left: all of its incident live mappings were removed at once.
+    /// Callers that need the exact list, like the incremental sessions, apply the
+    /// event through [`apply_event_traced`], which returns it.
+    PeerRetired(PeerId),
     /// A mapping's correspondences changed: evidence structure is intact but the
     /// observations through the mapping must be recomputed.
     MappingChanged(MappingId),
@@ -94,7 +107,7 @@ impl EventEffect {
     /// The mapping the effect concerns, if any.
     pub fn mapping(&self) -> Option<MappingId> {
         match self {
-            EventEffect::PeerAdded(_) => None,
+            EventEffect::PeerAdded(_) | EventEffect::PeerRetired(_) => None,
             EventEffect::MappingAdded(m)
             | EventEffect::MappingRemoved(m)
             | EventEffect::MappingChanged(m) => Some(*m),
@@ -107,9 +120,33 @@ impl EventEffect {
 /// correspondence, removal of an already-removed mapping, empty new mapping).
 ///
 /// This is the single source of truth for event semantics, shared by the epoch-based
-/// [`DynamicPdms`] and the incremental [`crate::session::EngineSession`].
+/// [`DynamicPdms`] and the incremental [`crate::session::EngineSession`]. Callers
+/// that need the mappings a [`NetworkEvent::RemovePeer`] withdrew should use
+/// [`apply_event_traced`] instead of re-scanning the catalog.
 pub fn apply_event(catalog: &mut Catalog, event: &NetworkEvent) -> Option<EventEffect> {
-    match event {
+    apply_event_traced(catalog, event).map(|(effect, _)| effect)
+}
+
+/// [`apply_event`], additionally returning the mappings the event withdrew —
+/// non-empty only for [`NetworkEvent::RemovePeer`], whose single
+/// [`EventEffect::PeerRetired`] effect stands for one removal per incident live
+/// mapping (ascending). The incremental sessions consume this list to tombstone
+/// topology edges and drop evidence without re-scanning the catalog.
+pub fn apply_event_traced(
+    catalog: &mut Catalog,
+    event: &NetworkEvent,
+) -> Option<(EventEffect, Vec<MappingId>)> {
+    if let NetworkEvent::RemovePeer { peer } = event {
+        let incident = incident_live_mappings(catalog, *peer);
+        if incident.is_empty() {
+            return None;
+        }
+        for mapping in &incident {
+            catalog.remove_mapping(*mapping);
+        }
+        return Some((EventEffect::PeerRetired(*peer), incident));
+    }
+    let effect = match event {
         NetworkEvent::AddPeer { name, attributes } => {
             let peer = catalog.add_peer_with_schema(name.clone(), |schema| {
                 for attribute in attributes {
@@ -144,6 +181,7 @@ pub fn apply_event(catalog: &mut Catalog, event: &NetworkEvent) -> Option<EventE
         NetworkEvent::RemoveMapping { mapping } => catalog
             .remove_mapping(*mapping)
             .then_some(EventEffect::MappingRemoved(*mapping)),
+        NetworkEvent::RemovePeer { .. } => unreachable!("handled above"),
         NetworkEvent::Corrupt {
             mapping,
             attribute,
@@ -198,7 +236,21 @@ pub fn apply_event(catalog: &mut Catalog, event: &NetworkEvent) -> Option<EventE
                 .remove_correspondence(*attribute)
                 .then_some(EventEffect::MappingChanged(*mapping))
         }
-    }
+    };
+    Some((effect?, Vec::new()))
+}
+
+/// The live mappings departing from or arriving at a peer, ascending and
+/// deduplicated (a self-mapping appears once) — exactly the set a
+/// [`NetworkEvent::RemovePeer`] withdraws.
+pub fn incident_live_mappings(catalog: &Catalog, peer: PeerId) -> Vec<MappingId> {
+    catalog
+        .mappings()
+        .filter(|m| {
+            let (source, target) = catalog.mapping_endpoints(*m);
+            source == peer || target == peer
+        })
+        .collect()
 }
 
 /// Configuration of a dynamic run.
@@ -612,6 +664,30 @@ mod tests {
             }]),
             0
         );
+    }
+
+    #[test]
+    fn remove_peer_withdraws_every_incident_mapping() {
+        let mut pdms = DynamicPdms::new(clean_catalog(), DynamicsConfig::default());
+        let before = pdms.run_epoch().clone();
+        // p1 (PeerId(1)) touches m0 (p0→p1), m1 (p1→p2) and m4 (p1→p3).
+        let incident = incident_live_mappings(pdms.catalog(), PeerId(1));
+        assert_eq!(incident, vec![MappingId(0), MappingId(1), MappingId(4)]);
+        let applied = pdms.apply(&[NetworkEvent::RemovePeer { peer: PeerId(1) }]);
+        assert_eq!(applied, 1);
+        assert_eq!(pdms.catalog().mapping_count(), before.mappings - 3);
+        for mapping in incident {
+            assert!(pdms.catalog().is_mapping_removed(mapping));
+        }
+        // The peer id slot survives as an isolated node.
+        assert_eq!(pdms.catalog().peer_count(), 4);
+        // Removing it again is a no-op: no live incident mappings remain.
+        assert_eq!(
+            pdms.apply(&[NetworkEvent::RemovePeer { peer: PeerId(1) }]),
+            0
+        );
+        let after = pdms.run_epoch().clone();
+        assert!(after.evidence_paths < before.evidence_paths);
     }
 
     #[test]

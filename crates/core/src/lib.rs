@@ -85,6 +85,7 @@ pub mod priors;
 pub mod routing;
 pub mod schedules;
 pub mod session;
+pub mod sharding;
 pub mod ttl_expansion;
 
 pub use backend::{
@@ -100,7 +101,8 @@ pub use cycle_analysis::{
 };
 pub use delta::{estimate_delta, estimate_delta_for_sizes, DEFAULT_DELTA};
 pub use dynamics::{
-    apply_event, DynamicPdms, DynamicsConfig, EpochReport, EventEffect, NetworkEvent,
+    apply_event, apply_event_traced, incident_live_mappings, DynamicPdms, DynamicsConfig,
+    EpochReport, EventEffect, NetworkEvent,
 };
 pub use embedded::{run_embedded, EmbeddedConfig, EmbeddedMessagePassing, EmbeddedReport};
 pub use embedded_baseline::{run_embedded_baseline, BaselineMessagePassing};
@@ -114,6 +116,7 @@ pub use priors::PriorStore;
 pub use routing::{route_query, RoutingDecision, RoutingOutcome, RoutingPolicy};
 pub use schedules::{DecentralizedConfig, DecentralizedRun, PeerInferenceLogic, ScheduleKind};
 pub use session::{ApplyReport, EngineBuilder, EngineSession, SessionStats};
+pub use sharding::{BatchReport, Shard, ShardedSession, ShardedStats};
 pub use ttl_expansion::{
     expand_ttl, expand_ttl_with_priors, TtlExpansionConfig, TtlExpansionReport, TtlExpansionStep,
 };

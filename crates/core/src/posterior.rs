@@ -78,6 +78,21 @@ impl PosteriorTable {
         self.coarse.insert(mapping, probability);
     }
 
+    /// Removes every entry (fine and coarse) of a mapping, returning lookups for it
+    /// to the default probability. Used by callers that maintain a merged table
+    /// incrementally (e.g. the sharded session patching only changed shards).
+    pub fn clear_mapping(&mut self, mapping: MappingId) {
+        let keys: Vec<(MappingId, AttributeId)> = self
+            .fine
+            .range((mapping, AttributeId(0))..=(mapping, AttributeId(usize::MAX)))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            self.fine.remove(&key);
+        }
+        self.coarse.remove(&mapping);
+    }
+
     /// Posterior that `mapping` preserves `attribute`, applying the `⊥` rule against
     /// the catalog: a mapping with no correspondence for the attribute has probability
     /// zero of preserving it.

@@ -29,7 +29,7 @@
 use crate::backend::{backend_for_method, InferenceBackend, InferenceTask};
 use crate::cycle_analysis::{build_topology, AnalysisConfig, AnalysisDelta, CycleAnalysis};
 use crate::delta::estimate_delta_for_catalog;
-use crate::dynamics::{apply_event, EventEffect, NetworkEvent};
+use crate::dynamics::{apply_event_traced, EventEffect, NetworkEvent};
 use crate::embedded::EmbeddedConfig;
 use crate::engine::{EngineConfig, InferenceMethod};
 use crate::local_graph::{Granularity, MappingModel, VariableKey};
@@ -135,6 +135,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the worker count a [`crate::sharding::ShardedSession`] dispatches its
+    /// component shards over (`0` = auto via `PDMS_SHARD_PARALLELISM` / available
+    /// cores, `1` = serial). Shorthand for [`AnalysisConfig::shard_parallelism`];
+    /// scheduling only, posteriors are identical at every setting. Ignored by
+    /// [`EngineBuilder::build`].
+    pub fn shard_parallelism(mut self, workers: usize) -> Self {
+        self.analysis.shard_parallelism = workers;
+        self
+    }
+
+    /// Sets the ingestion batch size of a [`crate::sharding::ShardedSession`]
+    /// (`0` = auto via `PDMS_BATCH_SIZE`, else one batch per submitted slice).
+    /// Shorthand for [`AnalysisConfig::batch_size`]. Ignored by
+    /// [`EngineBuilder::build`].
+    pub fn batch_size(mut self, events: usize) -> Self {
+        self.analysis.batch_size = events;
+        self
+    }
+
     /// Sets the variable granularity (Section 4.1).
     pub fn granularity(mut self, granularity: Granularity) -> Self {
         self.granularity = granularity;
@@ -209,6 +228,87 @@ impl EngineBuilder {
         session.rebuild_from_scratch();
         session
     }
+
+    /// Builds a component-sharded session instead: the catalog is partitioned into
+    /// weakly-connected-component shards, each running its own incremental
+    /// [`EngineSession`], dispatched in parallel over
+    /// [`AnalysisConfig::shard_parallelism`] workers. Exact by construction —
+    /// evidence paths never cross component boundaries. See
+    /// [`crate::sharding::ShardedSession`].
+    pub fn build_sharded(self, catalog: Catalog) -> crate::sharding::ShardedSession {
+        crate::sharding::ShardedSession::build(self, catalog)
+    }
+
+    /// The accumulated analysis configuration (consumed by
+    /// [`crate::sharding::ShardedSession::build`]).
+    pub(crate) fn into_parts(self) -> ShardSeedParts {
+        let backend = self
+            .backend
+            .clone()
+            .unwrap_or_else(|| backend_for_method(self.method.unwrap_or_default(), &self.embedded));
+        ShardSeedParts {
+            analysis: self.analysis,
+            granularity: self.granularity,
+            delta: self.delta,
+            backend,
+            priors: self.priors.unwrap_or_default(),
+        }
+    }
+}
+
+/// The builder state a [`crate::sharding::ShardedSession`] needs to construct and
+/// re-construct per-shard sessions.
+pub(crate) struct ShardSeedParts {
+    pub(crate) analysis: AnalysisConfig,
+    pub(crate) granularity: Granularity,
+    pub(crate) delta: Option<f64>,
+    pub(crate) backend: Arc<dyn InferenceBackend>,
+    pub(crate) priors: PriorStore,
+}
+
+/// Scans a batch for additions that a later event of the *same* batch withdraws
+/// again — either an explicit [`NetworkEvent::RemoveMapping`] naming the id the
+/// addition will receive (ids are allocated sequentially from
+/// [`Catalog::mapping_slot_count`], so batch authors can know them), or a
+/// [`NetworkEvent::RemovePeer`] covering one of its endpoints. Such pairs are
+/// *coalesced*: the slot is allocated and tombstoned for id stability, but evidence
+/// discovery is skipped on both sides.
+pub(crate) fn doomed_additions(
+    catalog: &Catalog,
+    events: &[NetworkEvent],
+) -> std::collections::BTreeSet<pdms_schema::MappingId> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut next = catalog.mapping_slot_count();
+    let mut pending: BTreeMap<pdms_schema::MappingId, (PeerId, PeerId)> = BTreeMap::new();
+    let mut doomed = BTreeSet::new();
+    for event in events {
+        match event {
+            NetworkEvent::AddMapping {
+                source,
+                target,
+                correspondences,
+            } if !correspondences.is_empty() => {
+                pending.insert(pdms_schema::MappingId(next), (*source, *target));
+                next += 1;
+            }
+            NetworkEvent::RemoveMapping { mapping } if pending.remove(mapping).is_some() => {
+                doomed.insert(*mapping);
+            }
+            NetworkEvent::RemovePeer { peer } => {
+                let dead: Vec<pdms_schema::MappingId> = pending
+                    .iter()
+                    .filter(|(_, (source, target))| source == peer || target == peer)
+                    .map(|(mapping, _)| *mapping)
+                    .collect();
+                for mapping in dead {
+                    pending.remove(&mapping);
+                    doomed.insert(mapping);
+                }
+            }
+            _ => {}
+        }
+    }
+    doomed
 }
 
 /// What one [`EngineSession::apply`] call did.
@@ -219,6 +319,11 @@ pub struct ApplyReport {
     /// Events that were no-ops (repair without ground truth, drop of a missing
     /// correspondence, removal of a removed mapping, empty mapping).
     pub events_ignored: usize,
+    /// Mappings that were added *and* removed within this same batch. Their
+    /// catalog/topology slots are still allocated (and tombstoned) so identifiers
+    /// line up with per-event application, but evidence discovery and removal were
+    /// skipped entirely — the batch-coalescing rule (see `docs/SHARDING.md`).
+    pub mappings_coalesced: usize,
     /// What the incremental analysis maintenance did.
     pub analysis: AnalysisDelta,
     /// Rounds the (warm-started) inference used after the update — 0 when the batch
@@ -336,10 +441,17 @@ impl EngineSession {
     /// Applies a batch of network events, invalidating only the evidence touching
     /// the changed mappings, then re-runs inference warm-started from the previous
     /// posteriors.
+    ///
+    /// Add/remove pairs that cancel within the batch are *coalesced*: the mapping's
+    /// id slot (and its tombstoned topology edge) is still allocated, so every
+    /// identifier matches per-event application exactly, but no evidence is ever
+    /// searched for or dropped through it. The final analysis, posterior and id
+    /// state is identical to applying the events one at a time.
     pub fn apply(&mut self, events: &[NetworkEvent]) -> ApplyReport {
         // `analysis.evidences_reused` is recounted exactly at the end of the batch;
         // everything else accumulates through `AnalysisDelta::merge`.
         let mut report = ApplyReport::default();
+        let doomed = doomed_additions(&self.catalog, events);
         // Events are processed strictly in order: each incremental analysis update
         // sees the catalog exactly as of its own event, so a batch adding two
         // mappings discovers a cycle using both exactly once (from the second edge).
@@ -351,9 +463,11 @@ impl EngineSession {
         let mut added: std::collections::BTreeSet<pdms_schema::MappingId> =
             std::collections::BTreeSet::new();
         for event in events {
-            match apply_event(&mut self.catalog, event) {
+            // `retired` is non-empty only for RemovePeer: the mappings its single
+            // PeerRetired effect withdrew.
+            match apply_event_traced(&mut self.catalog, event) {
                 None => report.events_ignored += 1,
-                Some(effect) => {
+                Some((effect, retired)) => {
                     report.events_applied += 1;
                     match effect {
                         EventEffect::PeerAdded(_) => {
@@ -366,21 +480,42 @@ impl EngineSession {
                             let (source, target) = self.catalog.mapping_endpoints(mapping);
                             let edge = self.topology.add_edge(NodeId(source.0), NodeId(target.0));
                             debug_assert_eq!(edge.0, mapping.0, "mirror edge ids = mapping ids");
-                            let delta = self.analysis.add_mapping_incremental_in(
-                                &self.catalog,
-                                &self.topology,
-                                mapping,
-                                &self.analysis_config,
-                            );
-                            report.analysis.merge(delta);
-                            added.insert(mapping);
+                            if doomed.contains(&mapping) {
+                                // The same batch removes this mapping again: tombstone
+                                // the mirror edge now so later in-batch searches never
+                                // route evidence through it, and skip the discovery
+                                // pass outright.
+                                self.topology.remove_edge(edge);
+                            } else {
+                                let delta = self.analysis.add_mapping_incremental_in(
+                                    &self.catalog,
+                                    &self.topology,
+                                    mapping,
+                                    &self.analysis_config,
+                                );
+                                report.analysis.merge(delta);
+                                added.insert(mapping);
+                            }
                         }
                         EventEffect::MappingRemoved(mapping) => {
-                            self.topology.remove_edge(EdgeId(mapping.0));
-                            let delta = self.analysis.remove_mapping_incremental(mapping);
-                            report.analysis.merge(delta);
-                            edited.remove(&mapping);
-                            added.remove(&mapping);
+                            self.remove_one_mapping(
+                                mapping,
+                                &doomed,
+                                &mut report,
+                                &mut edited,
+                                &mut added,
+                            );
+                        }
+                        EventEffect::PeerRetired(_) => {
+                            for mapping in retired {
+                                self.remove_one_mapping(
+                                    mapping,
+                                    &doomed,
+                                    &mut report,
+                                    &mut edited,
+                                    &mut added,
+                                );
+                            }
                         }
                         EventEffect::MappingChanged(mapping) => {
                             edited.insert(mapping);
@@ -438,6 +573,28 @@ impl EngineSession {
         self.stats.evidences_removed += report.analysis.evidences_removed;
         self.stats.evidences_reobserved += report.analysis.evidences_reobserved;
         report
+    }
+
+    /// Processes one mapping removal: drops the mirror edge and the evidence through
+    /// the mapping — unless the mapping was added by this very batch (coalesced), in
+    /// which case the edge is already tombstoned and no evidence ever existed.
+    fn remove_one_mapping(
+        &mut self,
+        mapping: pdms_schema::MappingId,
+        doomed: &std::collections::BTreeSet<pdms_schema::MappingId>,
+        report: &mut ApplyReport,
+        edited: &mut std::collections::BTreeSet<pdms_schema::MappingId>,
+        added: &mut std::collections::BTreeSet<pdms_schema::MappingId>,
+    ) {
+        if doomed.contains(&mapping) {
+            report.mappings_coalesced += 1;
+        } else {
+            self.topology.remove_edge(EdgeId(mapping.0));
+            let delta = self.analysis.remove_mapping_incremental(mapping);
+            report.analysis.merge(delta);
+        }
+        edited.remove(&mapping);
+        added.remove(&mapping);
     }
 
     /// Folds the current posteriors back into the priors (the Section 4.4 update), so

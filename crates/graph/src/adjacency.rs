@@ -119,6 +119,13 @@ impl DiGraph {
         id
     }
 
+    /// Number of edge id slots ever allocated, including tombstoned (removed)
+    /// edges. Mirrors of external id spaces (a catalog's mapping slots) compare
+    /// against this to assert id alignment regardless of which edges are live.
+    pub fn edge_slot_count(&self) -> usize {
+        self.edges.len()
+    }
+
     /// Removes an edge. Removing an already-removed edge is a no-op.
     pub fn remove_edge(&mut self, edge: EdgeId) {
         if let Some(slot) = self.edges.get_mut(edge.0) {

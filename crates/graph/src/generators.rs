@@ -29,6 +29,11 @@ pub enum TopologyKind {
     /// neighbours, with each edge rewired with probability `p` (Watts–Strogatz-like),
     /// producing the high clustering coefficients observed in real schema networks.
     ClusteredSmallWorld,
+    /// `islands` disjoint Erdős–Rényi sub-networks of `peers` nodes each, with no
+    /// edge between islands — the multi-component shape of a federation of
+    /// independent PDMS communities. Exercises component-sharded engines: every
+    /// island is one weakly connected component (and one shard).
+    Islands,
 }
 
 /// Configuration for [`generate`].
@@ -49,6 +54,9 @@ pub struct GeneratorConfig {
     /// edges on ever fewer hubs, producing the extreme hub-heavy topologies the
     /// work-stealing enumeration benchmarks use. Ignored by the other families.
     pub hub_exponent: f64,
+    /// Number of disjoint islands for [`TopologyKind::Islands`] (`peers` nodes
+    /// each). Ignored by the other families.
+    pub islands: usize,
     /// RNG seed so every experiment is reproducible.
     pub seed: u64,
 }
@@ -61,6 +69,7 @@ impl Default for GeneratorConfig {
             probability: 0.2,
             attachment: 2,
             hub_exponent: 1.0,
+            islands: 1,
             seed: 42,
         }
     }
@@ -118,6 +127,21 @@ impl GeneratorConfig {
         }
     }
 
+    /// Convenience constructor for a multi-component topology: `islands` disjoint
+    /// Erdős–Rényi islands of `peers` nodes each (edge probability `probability`).
+    /// Every island ends up a separate weakly connected component, so a
+    /// component-sharded engine runs one shard per island.
+    pub fn islands(islands: usize, peers: usize, probability: f64, seed: u64) -> Self {
+        Self {
+            kind: TopologyKind::Islands,
+            peers,
+            probability,
+            islands,
+            seed,
+            ..Self::default()
+        }
+    }
+
     /// Convenience constructor for a clustered small-world graph.
     pub fn small_world(peers: usize, neighbours: usize, rewire: f64, seed: u64) -> Self {
         Self {
@@ -154,7 +178,34 @@ pub fn generate(config: &GeneratorConfig) -> DiGraph {
             config.probability,
             &mut rng,
         ),
+        TopologyKind::Islands => islands(
+            config.islands.max(1),
+            config.peers,
+            config.probability,
+            config.seed,
+        ),
     }
+}
+
+/// `islands` disjoint Erdős–Rényi islands of `peers` nodes each. Island `i` occupies
+/// the node-id range `[i * peers, (i + 1) * peers)`; its edges are drawn from an RNG
+/// derived from `(seed, i)`, so the contents of island `i` do not depend on how many
+/// islands follow it.
+fn islands(islands: usize, peers: usize, probability: f64, seed: u64) -> DiGraph {
+    let mut g = DiGraph::with_nodes(islands * peers);
+    for island in 0..islands {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (island as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let base = island * peers;
+        for i in 0..peers {
+            for j in 0..peers {
+                if i != j && rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                    g.add_edge(NodeId(base + i), NodeId(base + j));
+                }
+            }
+        }
+    }
+    g
 }
 
 /// Directed ring of `n` peers.
@@ -318,6 +369,32 @@ fn small_world(n: usize, k: usize, rewire: f64, rng: &mut StdRng) -> DiGraph {
 mod tests {
     use super::*;
     use crate::metrics::clustering_coefficient;
+
+    #[test]
+    fn islands_are_disjoint_components_and_independent_of_island_count() {
+        let config = GeneratorConfig::islands(4, 8, 0.25, 9);
+        let g = config.generate();
+        assert_eq!(g.node_count(), 32);
+        let components = crate::traversal::connected_components(&g);
+        // No edge crosses an island boundary.
+        for edge in g.edges() {
+            assert_eq!(edge.source.0 / 8, edge.target.0 / 8);
+        }
+        // Dense-enough islands come out as exactly one component each.
+        assert_eq!(components.len(), 4);
+        // Island contents do not depend on how many islands follow: the first two
+        // islands of a 2-island graph equal those of the 4-island graph.
+        let smaller = GeneratorConfig::islands(2, 8, 0.25, 9).generate();
+        let prefix: Vec<_> = g.edges().filter(|e| e.source.0 < 16).collect();
+        let all_smaller: Vec<_> = smaller.edges().collect();
+        assert_eq!(prefix, all_smaller);
+        // Determinism under the seed.
+        let again = GeneratorConfig::islands(4, 8, 0.25, 9).generate();
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            again.edges().collect::<Vec<_>>()
+        );
+    }
 
     #[test]
     fn ring_has_n_edges_and_one_cycle() {

@@ -35,7 +35,10 @@ pub mod paths;
 pub mod traversal;
 
 pub use adjacency::{DiGraph, EdgeId, EdgeRef, NodeId};
-pub use components::{condensation_edges, strongly_connected_components, Condensation};
+pub use components::{
+    condensation_edges, strongly_connected_components, Condensation, IncrementalComponents,
+    MergeOutcome, SplitOutcome,
+};
 pub use cycles::{
     cycle_subtask_costs, cycles_through_edge, enumerate_cycles, enumerate_cycles_parallel,
     enumerate_cycles_scheduled, enumerate_undirected_cycles, enumerate_undirected_cycles_parallel,
@@ -48,8 +51,10 @@ pub use loops::{
 };
 pub use metrics::{clustering_coefficient, degree_distribution, GraphMetrics};
 pub use parallelism::{
-    effective_parallelism, run_stealing, StealConfig, SubtaskCost, DEFAULT_HEAVY_ORIGIN_THRESHOLD,
-    DEFAULT_STEAL_GRANULARITY, HEAVY_ORIGIN_THRESHOLD_ENV, PARALLELISM_ENV, STEAL_GRANULARITY_ENV,
+    effective_batch_size, effective_parallelism, effective_shard_parallelism, run_stealing,
+    StealConfig, SubtaskCost, BATCH_SIZE_ENV, DEFAULT_HEAVY_ORIGIN_THRESHOLD,
+    DEFAULT_STEAL_GRANULARITY, HEAVY_ORIGIN_THRESHOLD_ENV, PARALLELISM_ENV, SHARD_PARALLELISM_ENV,
+    STEAL_GRANULARITY_ENV,
 };
 pub use paths::{
     enumerate_parallel_paths, enumerate_parallel_paths_parallel,

@@ -42,6 +42,33 @@ pub const STEAL_GRANULARITY_ENV: &str = "PDMS_STEAL_GRANULARITY";
 /// ([`StealConfig::heavy_origin_threshold`]).
 pub const HEAVY_ORIGIN_THRESHOLD_ENV: &str = "PDMS_HEAVY_ORIGIN_THRESHOLD";
 
+/// Environment variable overriding the "auto" worker count for dispatching
+/// component shards (`pdms_core`'s sharded sessions) — distinct from
+/// [`PARALLELISM_ENV`], which fans out *within* one enumeration.
+pub const SHARD_PARALLELISM_ENV: &str = "PDMS_SHARD_PARALLELISM";
+
+/// Environment variable overriding the "auto" ingestion batch size of
+/// `pdms_core`'s sharded sessions (`0` / unset = process each submitted event
+/// slice as one batch).
+pub const BATCH_SIZE_ENV: &str = "PDMS_BATCH_SIZE";
+
+/// Resolves the shard-dispatch parallelism knob (`0` = auto) to a concrete worker
+/// count (>= 1): an explicit request wins, else [`SHARD_PARALLELISM_ENV`], else
+/// [`std::thread::available_parallelism`]. Scheduling only — shard dispatch order
+/// never affects results.
+pub fn effective_shard_parallelism(requested: usize) -> usize {
+    resolve_workers(requested, SHARD_PARALLELISM_ENV)
+}
+
+/// Resolves the ingestion batch-size knob (`0` = auto): an explicit request wins,
+/// else [`BATCH_SIZE_ENV`], else `0` (meaning "one batch per submitted slice").
+pub fn effective_batch_size(requested: usize) -> usize {
+    if requested >= 1 {
+        return requested;
+    }
+    env_positive(BATCH_SIZE_ENV).unwrap_or(0)
+}
+
 /// Default heavy-origin threshold when neither the configuration nor the
 /// environment pins one: origins with at least this many first-hop edges are split.
 pub const DEFAULT_HEAVY_ORIGIN_THRESHOLD: usize = 4;
@@ -57,10 +84,16 @@ pub const DEFAULT_STEAL_GRANULARITY: usize = 1;
 /// * `requested == 0` ("auto"): the `PDMS_PARALLELISM` environment variable if set
 ///   to a positive integer, otherwise [`std::thread::available_parallelism`].
 pub fn effective_parallelism(requested: usize) -> usize {
+    resolve_workers(requested, PARALLELISM_ENV)
+}
+
+/// The shared `0 = auto` worker-count resolution: explicit request, else the
+/// given environment variable, else [`std::thread::available_parallelism`].
+fn resolve_workers(requested: usize, env: &str) -> usize {
     if requested >= 1 {
         return requested;
     }
-    if let Some(n) = env_positive(PARALLELISM_ENV) {
+    if let Some(n) = env_positive(env) {
         return n;
     }
     std::thread::available_parallelism()

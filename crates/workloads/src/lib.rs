@@ -35,6 +35,8 @@ pub use example::{
     figure4_undirected, figure5_directed, growing_cycle, intro_network, simple_cycle,
 };
 pub use ontology::{generate_ontology_suite, OntologySuite, OntologySuiteConfig};
-pub use scenarios::{hub_heavy_enumeration, hub_heavy_network, Scenario, ScenarioResult};
+pub use scenarios::{
+    hub_heavy_enumeration, hub_heavy_network, multi_component_network, Scenario, ScenarioResult,
+};
 pub use srs::{SrsConfig, SrsNetwork};
 pub use synthetic::{catalog_from_topology, SyntheticConfig, SyntheticNetwork};

@@ -130,6 +130,25 @@ pub fn hub_heavy_network(
     })
 }
 
+/// A federation of independent PDMS communities: `islands` disjoint Erdős–Rényi
+/// islands of `peers_per_island` peers each, one weakly connected component per
+/// island. The natural workload for the component-sharded engine
+/// (`pdms_core::ShardedSession`): every island is one shard, and evidence never
+/// crosses island boundaries, so per-shard assessment is exact.
+pub fn multi_component_network(
+    islands: usize,
+    peers_per_island: usize,
+    probability: f64,
+    seed: u64,
+) -> SyntheticNetwork {
+    SyntheticNetwork::generate(SyntheticConfig {
+        topology: GeneratorConfig::islands(islands, peers_per_island, probability, seed),
+        attributes: 5,
+        error_rate: 0.08,
+        seed,
+    })
+}
+
 /// Scale-free PDMS: how unevenly the evidence is distributed over origin peers —
 /// the imbalance the work-stealing enumeration schedule exists to absorb — plus an
 /// in-scenario check that evidence ids are identical at 1, 2 and 4 workers under an

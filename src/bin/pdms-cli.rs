@@ -77,9 +77,10 @@ USAGE:
       four-peer art network and route the introductory query around it.
 
   pdms-cli churn [--peers <n>] [--epochs <n>] [--seed <n>]
-                 [--topology small-world|scale-free|hub-heavy|erdos-renyi|ring]
-                 [--hub-exponent <a>] [--parallelism <n>]
+                 [--topology small-world|scale-free|hub-heavy|erdos-renyi|ring|islands]
+                 [--islands <n>] [--hub-exponent <a>] [--parallelism <n>]
                  [--steal-granularity <n>] [--heavy-threshold <n>]
+                 [--sharded] [--batch-size <n>] [--shard-parallelism <n>]
       Generate a synthetic network and drive an incremental engine session through
       epochs of churn (corruptions, repairs, new mappings), printing per epoch how
       much evidence was reused versus invalidated and how many warm-started
@@ -87,10 +88,21 @@ USAGE:
       `--topology hub-heavy` selects the scale-free network with super-linear
       preferential attachment (exponent --hub-exponent, default 1.6) whose hub
       peers the work-stealing enumeration splits into stolen subtasks;
+      `--topology islands` generates --islands disjoint Erdos-Renyi communities of
+      --peers nodes each (a multi-component network, one shard per island).
       --parallelism / --steal-granularity / --heavy-threshold expose the
       scheduling knobs (0 = auto via PDMS_PARALLELISM / PDMS_STEAL_GRANULARITY /
       PDMS_HEAVY_ORIGIN_THRESHOLD).
+      --sharded switches to the component-sharded engine: one session per weakly
+      connected component, batched event ingestion (--batch-size, 0 = one batch
+      per epoch, auto via PDMS_BATCH_SIZE) and parallel shard dispatch
+      (--shard-parallelism, 0 = auto via PDMS_SHARD_PARALLELISM). Posteriors are
+      identical to the single-session engine; the table shows per-epoch shard
+      maintenance instead of evidence reuse.
 ";
+
+/// Options that are boolean flags (present or absent, no value).
+const FLAGS: &[&str] = &["sharded"];
 
 #[derive(Debug, Default)]
 struct Options {
@@ -100,6 +112,10 @@ struct Options {
 impl Options {
     fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 
     fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -121,6 +137,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 "unexpected argument `{arg}` (options start with --)"
             ));
         };
+        if FLAGS.contains(&key) {
+            options.values.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| format!("option --{key} needs a value"))?;
@@ -309,12 +329,17 @@ fn churn(options: &Options) -> Result<(), String> {
     let peers: usize = options.parsed("peers", 16)?;
     let epochs: usize = options.parsed("epochs", 8)?;
     let seed: u64 = options.parsed("seed", 2006)?;
+    let islands: usize = options.parsed("islands", 4)?;
     let hub_exponent: f64 = options.parsed("hub-exponent", 1.6)?;
     let parallelism: usize = options.parsed("parallelism", 0)?;
     let steal_granularity: usize = options.parsed("steal-granularity", 0)?;
     let heavy_threshold: usize = options.parsed("heavy-threshold", 0)?;
+    let sharded = options.flag("sharded");
+    let batch_size: usize = options.parsed("batch-size", 0)?;
+    let shard_parallelism: usize = options.parsed("shard-parallelism", 0)?;
 
-    let topology = match options.get("topology").unwrap_or("small-world") {
+    let topology_name = options.get("topology").unwrap_or("small-world");
+    let topology = match topology_name {
         "small-world" => pdms::graph::GeneratorConfig::small_world(peers, 2, 0.2, seed),
         "scale-free" => pdms::graph::GeneratorConfig::scale_free(peers, 2, seed),
         "hub-heavy" => {
@@ -322,10 +347,11 @@ fn churn(options: &Options) -> Result<(), String> {
         }
         "erdos-renyi" => pdms::graph::GeneratorConfig::erdos_renyi(peers, 0.15, seed),
         "ring" => pdms::graph::GeneratorConfig::ring(peers),
+        "islands" => pdms::graph::GeneratorConfig::islands(islands, peers, 0.15, seed),
         other => {
             return Err(format!(
                 "unknown --topology `{other}` (expected small-world, scale-free, hub-heavy, \
-                 erdos-renyi or ring)"
+                 erdos-renyi, ring or islands)"
             ))
         }
     };
@@ -342,11 +368,23 @@ fn churn(options: &Options) -> Result<(), String> {
         parallelism,
         steal_granularity,
         heavy_origin_threshold: heavy_threshold,
+        shard_parallelism,
+        batch_size,
     };
     let embedded = pdms::core::EmbeddedConfig {
         record_history: false,
         ..Default::default()
     };
+    if sharded {
+        return churn_sharded(
+            epochs,
+            seed,
+            topology_name,
+            network,
+            analysis_config,
+            embedded,
+        );
+    }
     let mut session = Engine::builder()
         .analysis(analysis_config.clone())
         .embedded(embedded.clone())
@@ -354,7 +392,7 @@ fn churn(options: &Options) -> Result<(), String> {
         .build(network.catalog.clone());
     println!(
         "synthetic {} network: {} peers, {} mappings, {} evidence paths; cold build took {} rounds",
-        options.get("topology").unwrap_or("small-world"),
+        topology_name,
         session.catalog().peer_count(),
         session.catalog().mapping_count(),
         session.analysis().evidences.len(),
@@ -404,6 +442,76 @@ fn churn(options: &Options) -> Result<(), String> {
         stats.evidences_added,
         stats.evidences_removed,
         stats.evidences_reobserved,
+    );
+    Ok(())
+}
+
+/// The `churn --sharded` path: drives a component-sharded session through the same
+/// epochs, printing per-epoch shard maintenance (touched vs. rebuilt shards,
+/// merges, splits, coalesced pairs) instead of per-evidence accounting.
+fn churn_sharded(
+    epochs: usize,
+    seed: u64,
+    topology_name: &str,
+    network: SyntheticNetwork,
+    analysis_config: pdms::core::AnalysisConfig,
+    embedded: pdms::core::EmbeddedConfig,
+) -> Result<(), String> {
+    let mut session = Engine::builder()
+        .analysis(analysis_config)
+        .embedded(embedded)
+        .delta(0.1)
+        .build_sharded(network.catalog.clone());
+    println!(
+        "synthetic {} network: {} peers, {} mappings, {} evidence paths across {} shards",
+        topology_name,
+        session.catalog().peer_count(),
+        session.catalog().mapping_count(),
+        session.evidence_count(),
+        session.shard_count(),
+    );
+    let mut generator = ChurnGenerator::new(ChurnConfig {
+        seed,
+        ..Default::default()
+    });
+    println!(
+        "{:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>10} {:>7}",
+        "epoch",
+        "events",
+        "shards",
+        "touched",
+        "rebuilt",
+        "merges",
+        "splits",
+        "coalesced",
+        "rounds"
+    );
+    for epoch in 0..epochs {
+        let events = generator.epoch_events(session.catalog());
+        let report = session.apply_batch(&events);
+        println!(
+            "{epoch:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>10} {:>7}",
+            report.events_applied,
+            session.shard_count(),
+            report.shards_touched,
+            report.shards_rebuilt,
+            report.merges,
+            report.splits,
+            report.mappings_coalesced,
+            report.rounds,
+        );
+    }
+    let stats = session.stats();
+    println!(
+        "\nsharded totals: {} batches, {} events, {} incremental shard applies, {} shard \
+         rebuilds, {} merges, {} splits, {} coalesced pairs",
+        stats.batches,
+        stats.events_applied,
+        stats.shard_applies,
+        stats.shard_rebuilds,
+        stats.merges,
+        stats.splits,
+        stats.mappings_coalesced,
     );
     Ok(())
 }

@@ -38,6 +38,14 @@
 //! batch [`core::Engine`] façade remains for one-shot experiments. `MIGRATION.md`
 //! at the workspace root maps the old `EngineConfig`-based API onto the builder.
 //!
+//! At federation scale, `Engine::builder()…build_sharded(catalog)` returns a
+//! [`core::ShardedSession`]: the catalog is partitioned into its weakly connected
+//! components — evidence never crosses a component boundary, so the partition is
+//! exact — with one incremental session per component,
+//! [`core::ShardedSession::apply_batch`] batched ingestion (add/remove pairs
+//! coalesce, one inference pass per touched shard), and parallel shard dispatch.
+//! See `docs/SHARDING.md`.
+//!
 //! ## Crate map
 //!
 //! The functionality lives in the member crates, re-exported here:
@@ -51,9 +59,9 @@
 //! * [`network`] — the decentralized PDMS simulator with lossy transport;
 //! * [`core`] — the paper's contribution: cycle analysis with incremental
 //!   invalidation, local factor graphs, pluggable inference backends, engine
-//!   sessions, prior updates, posterior-driven routing, baselines, plus the adaptive
-//!   TTL expansion, overhead accounting, and network-dynamics machinery of the later
-//!   sections;
+//!   sessions, component-sharded sessions with batched ingestion, prior updates,
+//!   posterior-driven routing, baselines, plus the adaptive TTL expansion, overhead
+//!   accounting, and network-dynamics machinery of the later sections;
 //! * [`workloads`] — the introductory example network, synthetic topologies, the
 //!   EON-style ontology alignment scenario, SRS-style clustered topologies, and churn
 //!   generators;

@@ -182,6 +182,7 @@ proptest! {
             parallelism: workers,
             heavy_origin_threshold: 2,
             steal_granularity: granularity,
+            ..Default::default()
         });
         prop_assert_eq!(&serial.evidences, &scheduled.evidences);
         prop_assert_eq!(serial.observations.len(), scheduled.observations.len());
