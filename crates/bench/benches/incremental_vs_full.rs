@@ -62,6 +62,7 @@ fn light_churn(catalog: &Catalog, seed: u64) -> Vec<NetworkEvent> {
         new_mappings_per_epoch: 0.3,
         new_mapping_error_rate: 0.1,
         seed,
+        ..Default::default()
     });
     generator.epoch_events(catalog)
 }

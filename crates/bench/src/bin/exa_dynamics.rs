@@ -36,6 +36,7 @@ fn run(update_priors: bool) -> Vec<(f64, f64, f64, f64, f64)> {
         new_mappings_per_epoch: 1.0,
         new_mapping_error_rate: 0.2,
         seed: 2006,
+        ..Default::default()
     });
     let mut rows = Vec::new();
     for epoch in 0..EPOCHS {

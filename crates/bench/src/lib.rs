@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod enumeration_tail;
+pub mod merge_splice;
 pub mod round_throughput;
 pub mod shard_scaling;
 

@@ -110,6 +110,17 @@ pub struct AnalysisConfig {
     /// (the `PDMS_BATCH_SIZE` environment variable, else "one batch per submitted
     /// slice"). Ignored by non-sharded sessions.
     pub batch_size: usize,
+    /// Warm shard splicing of a [`crate::sharding::ShardedSession`]: on a component
+    /// merge or split, splice the donor shards' cached analyses and converged
+    /// posteriors into the new shard — searching only the evidence through the
+    /// bridging mappings — instead of rebuilding the touched shards cold. `None` =
+    /// auto (the `PDMS_SPLICE` environment variable; `0`/`false`/`off`/`no`
+    /// disable, default enabled), `Some(v)` pins it. The knob never changes
+    /// results (exact evidence sets; posteriors within the warm-restart ulp
+    /// envelope, bit-identical on cold comparison points — see
+    /// `docs/SHARDING.md`); it exists as a cost comparison and fallback. Ignored
+    /// by non-sharded sessions.
+    pub splice: Option<bool>,
 }
 
 impl Default for AnalysisConfig {
@@ -123,6 +134,7 @@ impl Default for AnalysisConfig {
             steal_granularity: 0,
             shard_parallelism: 0,
             batch_size: 0,
+            splice: None,
         }
     }
 }

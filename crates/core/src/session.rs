@@ -154,6 +154,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Pins the warm shard-splice path of a [`crate::sharding::ShardedSession`] on
+    /// or off (unset = auto via `PDMS_SPLICE`, default on). Shorthand for
+    /// [`AnalysisConfig::splice`]; results are identical either way — disabling it
+    /// falls back to cold shard rebuilds on component merges and splits. Ignored
+    /// by [`EngineBuilder::build`].
+    pub fn splice(mut self, enabled: bool) -> Self {
+        self.analysis.splice = Some(enabled);
+        self
+    }
+
     /// Sets the variable granularity (Section 4.1).
     pub fn granularity(mut self, granularity: Granularity) -> Self {
         self.granularity = granularity;
@@ -266,6 +276,22 @@ pub(crate) struct ShardSeedParts {
     pub(crate) priors: PriorStore,
 }
 
+/// Everything a shard splice (see `crate::sharding`) assembles *before* inference:
+/// the merged sub-catalog, its live topology mirror, the spliced evidence analysis,
+/// and the donors' converged posteriors keyed by the new shard-local variables.
+/// [`EngineSession::from_spliced_parts`] turns this into a running session without
+/// ever paying the full enumeration pipeline.
+pub(crate) struct SplicedParts {
+    pub(crate) catalog: Catalog,
+    pub(crate) topology: DiGraph,
+    pub(crate) analysis: CycleAnalysis,
+    /// Warm-start posteriors for the variables untouched by the splice (donor
+    /// variables not on a bridging or edited mapping). Variables absent here
+    /// restart from the unit message, exactly like [`EngineSession::apply`] treats
+    /// added or edited mappings.
+    pub(crate) warm: BTreeMap<VariableKey, f64>,
+}
+
 /// Scans a batch for additions that a later event of the *same* batch withdraws
 /// again — either an explicit [`NetworkEvent::RemoveMapping`] naming the id the
 /// addition will receive (ids are allocated sequentially from
@@ -374,6 +400,46 @@ pub struct EngineSession {
 }
 
 impl EngineSession {
+    /// Builds a session from pre-spliced parts: the analysis is taken as given (the
+    /// splice already appended the evidence through the bridging mappings), so the
+    /// only work left is one warm-started inference pass. The splice counterpart of
+    /// [`EngineBuilder::build`]; `delta` is always pinned (shard sub-catalogs must
+    /// not re-estimate it from their own schemas).
+    pub(crate) fn from_spliced_parts(
+        analysis_config: AnalysisConfig,
+        granularity: Granularity,
+        delta: f64,
+        backend: Arc<dyn InferenceBackend>,
+        priors: PriorStore,
+        parts: SplicedParts,
+    ) -> EngineSession {
+        let mut session = EngineSession {
+            catalog: parts.catalog,
+            analysis_config,
+            granularity,
+            delta_override: Some(delta),
+            backend,
+            priors,
+            topology: parts.topology,
+            analysis: parts.analysis,
+            model: MappingModel::default(),
+            variable_posteriors: BTreeMap::new(),
+            posteriors: PosteriorTable::new(0.5),
+            rounds: 0,
+            converged: true,
+            stats: SessionStats::default(),
+        };
+        let warm = parts.warm;
+        session.reinfer((!warm.is_empty()).then_some(&warm));
+        session
+    }
+
+    /// The posterior of every model variable as of the most recent inference run —
+    /// the warm state a shard splice carries into the merged shard.
+    pub(crate) fn variable_posteriors(&self) -> &BTreeMap<VariableKey, f64> {
+        &self.variable_posteriors
+    }
+
     /// The catalog in its current (post-deltas) state.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

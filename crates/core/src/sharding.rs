@@ -28,29 +28,44 @@
 //! removed inside one batch never has evidence searched for it), **grouped by
 //! destination shard**, and dispatched — one incremental inference pass per touched
 //! shard instead of one per event, in parallel over the
-//! [`AnalysisConfig::shard_parallelism`] worker pool. Shards whose component merges
-//! or splits are rebuilt from the final catalog; untouched shards are not visited
-//! at all. See `docs/SHARDING.md` for the lifecycle, the exactness argument and a
-//! worked event trace.
+//! [`AnalysisConfig::shard_parallelism`] worker pool. Untouched shards are not
+//! visited at all.
+//!
+//! Shards whose component **merges or splits** take the *warm splice path* instead
+//! of a cold rebuild: the donor shards' cached [`crate::cycle_analysis::CycleAnalysis`]
+//! state is remapped onto the new shard's local ids (every donor evidence path
+//! survives a merge verbatim, and survives a split exactly when all of its mappings
+//! stayed on the same side), only the evidence through the *bridging* mappings is
+//! searched — the targeted per-edge DFS of [`pdms_graph::cycles_through_edge`] /
+//! [`pdms_graph::parallel_paths_through_edge`], never a full re-enumeration — and
+//! inference warm-starts from the donors' converged posteriors so only the new
+//! evidence's neighborhood re-activates. An edge between two previously separate
+//! peer islands is the dominant structural event in a growing PDMS; splicing makes
+//! it cost the bridge, not the islands. `PDMS_SPLICE=0` (or
+//! [`crate::session::EngineBuilder::splice`]`(false)`) falls back to cold rebuilds;
+//! results are identical either way. See `docs/SHARDING.md` for the lifecycle, the
+//! exactness argument and a worked event trace.
 
 use crate::backend::InferenceBackend;
-use crate::cycle_analysis::{build_topology, AnalysisConfig};
+use crate::cycle_analysis::{build_topology, AnalysisConfig, CycleAnalysis};
 use crate::cycle_analysis::{EvidencePath, EvidenceSource};
 use crate::delta::estimate_delta_for_catalog;
 use crate::dynamics::{apply_event_traced, EventEffect, NetworkEvent};
+use crate::feedback::FeedbackObservation;
 use crate::local_graph::{Granularity, VariableKey};
 use crate::metrics::{precision_recall, EvaluationReport};
 use crate::posterior::PosteriorTable;
 use crate::priors::PriorStore;
 use crate::routing::{route_query, RoutingOutcome, RoutingPolicy};
-use crate::session::{doomed_additions, EngineBuilder, EngineSession};
+use crate::session::{doomed_additions, EngineBuilder, EngineSession, SplicedParts};
 use pdms_graph::{
-    effective_batch_size, effective_shard_parallelism, run_stealing, DiGraph, EdgeId,
-    IncrementalComponents, MergeOutcome, NodeId, SplitOutcome,
+    effective_batch_size, effective_shard_parallelism, effective_splice, run_stealing, DiGraph,
+    EdgeId, IncrementalComponents, MergeOutcome, NodeId, SplitOutcome,
 };
 use pdms_schema::{Catalog, MappingId, PeerId, Query};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Everything needed to build (and re-build, after merges and splits) the
 /// per-component [`EngineSession`]s.
@@ -140,10 +155,22 @@ pub struct BatchReport {
     pub splits: usize,
     /// Shards that received an incremental apply (one inference pass each).
     pub shards_touched: usize,
-    /// Shards rebuilt from the final catalog (merge, split, or a new component).
+    /// Shards rebuilt cold from the final catalog (a fresh component with no donor
+    /// state, or any merge/split while splicing is disabled).
     pub shards_rebuilt: usize,
+    /// Shards assembled by the warm splice path (donor analyses remapped, bridge
+    /// evidence searched, inference warm-started from the donors' posteriors).
+    pub shards_spliced: usize,
+    /// Evidence paths discovered through the bridging mappings during splices —
+    /// the only enumeration work a splice performs.
+    pub splice_evidence_added: usize,
     /// Inference rounds summed over every dispatched shard.
     pub rounds: usize,
+    /// Wall time summed over every dispatched shard's apply/splice/rebuild work
+    /// (serial-equivalent cost; with parallel dispatch the batch finishes sooner).
+    pub shard_time: Duration,
+    /// Wall time of the slowest single shard in the batch (the dispatch tail).
+    pub slowest_shard: Duration,
 }
 
 impl BatchReport {
@@ -156,7 +183,11 @@ impl BatchReport {
         self.splits += other.splits;
         self.shards_touched += other.shards_touched;
         self.shards_rebuilt += other.shards_rebuilt;
+        self.shards_spliced += other.shards_spliced;
+        self.splice_evidence_added += other.splice_evidence_added;
         self.rounds += other.rounds;
+        self.shard_time += other.shard_time;
+        self.slowest_shard = self.slowest_shard.max(other.slowest_shard);
     }
 }
 
@@ -175,8 +206,12 @@ pub struct ShardedStats {
     pub splits: usize,
     /// Incremental shard applies dispatched.
     pub shard_applies: usize,
-    /// Shard rebuilds dispatched.
+    /// Cold shard rebuilds dispatched.
     pub shard_rebuilds: usize,
+    /// Warm shard splices dispatched (merges and splits served from donor state).
+    pub shards_spliced: usize,
+    /// Evidence paths discovered through bridging mappings across all splices.
+    pub splice_evidence_added: usize,
 }
 
 /// One pending unit of shard work inside a batch dispatch.
@@ -186,8 +221,102 @@ enum ShardTask {
     /// Intact shard with queued (already shard-local) events: one incremental
     /// apply.
     Apply(Shard, Vec<NetworkEvent>),
-    /// Component whose shard must be (re)built from the final global catalog.
+    /// Component whose shard must be (re)built cold from the final global catalog
+    /// (no donor state exists, or splicing is disabled).
     Build(Vec<PeerId>),
+    /// Component assembled warm from donor shards: donor analyses and posteriors
+    /// are remapped, only the listed bridging mappings are searched for evidence,
+    /// and the listed edited mappings are re-observed.
+    Splice {
+        /// The component's peers, ascending global ids.
+        peers: Vec<PeerId>,
+        /// Indices (into the batch's surviving old-shard slots) of the donors,
+        /// ordered by their smallest peer covered by the component.
+        donors: Vec<usize>,
+        /// Mappings added by this batch whose source lies in the component,
+        /// ascending global ids (their evidence is the only enumeration work).
+        new_mappings: Vec<MappingId>,
+        /// Mappings whose correspondences this batch edited, restricted to the
+        /// component (their evidence is re-observed in place).
+        edited: Vec<MappingId>,
+    },
+}
+
+/// How a dispatched shard task was served — the per-shard accounting behind
+/// [`BatchReport`].
+enum ShardWork {
+    Kept,
+    Applied,
+    Rebuilt,
+    Spliced {
+        /// Evidence paths discovered through the bridging mappings.
+        evidence_added: usize,
+    },
+}
+
+/// One dispatched shard task's result.
+struct ShardOutcome {
+    shard: Shard,
+    /// Inference rounds the task ran (0 for kept shards).
+    rounds: usize,
+    work: ShardWork,
+    /// Wall time of the task on its worker.
+    elapsed: Duration,
+}
+
+/// Per-batch scratch reused across [`ShardedSession::apply_batch`] calls: the
+/// shard-local event queues and structural-damage flags are indexed by the
+/// current shard index and cleared through explicit touch lists, replacing the
+/// per-batch `BTreeMap`/`BTreeSet` grouping state (one tree-node allocation per
+/// queued shard and broken flag) with flat reusable tables. Queues handed to an
+/// `Apply` task are moved out (the worker needs ownership), so a dispatched
+/// shard's event buffer is rebuilt next batch; everything else retains its
+/// capacity.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Queued shard-local events, indexed by shard.
+    queued: Vec<Vec<NetworkEvent>>,
+    /// Shards with a non-empty queue (drain list for cheap clearing).
+    queued_touched: Vec<usize>,
+    /// Structural-damage flag per shard (the shard's component merged or split).
+    broken: Vec<bool>,
+    /// Shards flagged broken (drain list for cheap clearing).
+    broken_list: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Sizes the per-shard tables for a batch over `shards` shards and clears any
+    /// state a previous batch left behind (buffers keep their capacity).
+    fn begin_batch(&mut self, shards: usize) {
+        if self.queued.len() < shards {
+            self.queued.resize_with(shards, Vec::new);
+        }
+        if self.broken.len() < shards {
+            self.broken.resize(shards, false);
+        }
+        for idx in self.queued_touched.drain(..) {
+            self.queued[idx].clear();
+        }
+        for idx in self.broken_list.drain(..) {
+            self.broken[idx] = false;
+        }
+    }
+
+    /// Queues one shard-local event.
+    fn queue(&mut self, shard: usize, event: NetworkEvent) {
+        if self.queued[shard].is_empty() {
+            self.queued_touched.push(shard);
+        }
+        self.queued[shard].push(event);
+    }
+
+    /// Flags a shard as structurally damaged.
+    fn mark_broken(&mut self, shard: usize) {
+        if !self.broken[shard] {
+            self.broken[shard] = true;
+            self.broken_list.push(shard);
+        }
+    }
 }
 
 /// A component-sharded incremental inference session over an evolving catalog.
@@ -252,6 +381,8 @@ pub struct ShardedSession {
     /// Posterior snapshot merged over all shards, keyed by global ids.
     merged: PosteriorTable,
     stats: ShardedStats,
+    /// Reusable per-batch grouping state (see [`BatchScratch`]).
+    scratch: BatchScratch,
 }
 
 impl std::fmt::Debug for ShardSeed {
@@ -302,6 +433,7 @@ impl ShardedSession {
             seed,
             merged: PosteriorTable::new(0.5),
             stats: ShardedStats::default(),
+            scratch: BatchScratch::default(),
         };
         session.reindex();
         session.remerge();
@@ -567,12 +699,18 @@ impl ShardedSession {
             ..BatchReport::default()
         };
         let doomed = doomed_additions(&self.catalog, events);
-        // Shard-local event queues and structural damage, keyed by the shard's
-        // *current* index. Queued events are translated eagerly; a shard that later
-        // turns out broken simply drops its queue (the rebuild reads the final
-        // catalog, which already contains every change).
-        let mut queued: BTreeMap<usize, Vec<NetworkEvent>> = BTreeMap::new();
-        let mut broken: BTreeSet<usize> = BTreeSet::new();
+        // Shard-local event queues and structural damage live in the persistent
+        // scratch, keyed by the shard's *current* index. Queued events are
+        // translated eagerly; a shard that later turns out broken simply leaves
+        // its queue behind (the splice or rebuild reads the final catalog, which
+        // already contains every change).
+        self.scratch.begin_batch(self.shards.len());
+        // Structural delta of this batch, the input of the splice path: mappings
+        // added (non-coalesced ones survive the batch by construction of `doomed`;
+        // event order = ascending global-id order) and mappings whose
+        // correspondences were edited.
+        let mut added: Vec<MappingId> = Vec::new();
+        let mut edited: BTreeSet<MappingId> = BTreeSet::new();
         for event in events {
             // `retired` is non-empty only for RemovePeer: the mappings its single
             // PeerRetired effect withdrew.
@@ -601,43 +739,37 @@ impl ShardedSession {
                         self.topology.remove_edge(edge);
                         continue;
                     }
+                    added.push(mapping);
                     match self.components.merge(NodeId(source.0), NodeId(target.0)) {
                         MergeOutcome::AlreadyJoined => {
-                            self.queue_add(mapping, source, event, &mut queued, &broken);
+                            self.queue_add(mapping, source, event);
                         }
                         MergeOutcome::Merged { .. } => {
                             report.merges += 1;
                             for endpoint in [source, target] {
                                 let idx = self.peer_shard[endpoint.0];
                                 if idx != usize::MAX {
-                                    broken.insert(idx);
+                                    self.scratch.mark_broken(idx);
                                 }
                             }
                         }
                     }
                 }
                 EventEffect::MappingRemoved(mapping) => {
-                    self.unqueue_removal(mapping, &doomed, &mut queued, &mut broken, &mut report);
+                    self.unqueue_removal(mapping, &doomed, &mut edited, &mut report);
                 }
                 EventEffect::PeerRetired(_) => {
                     for mapping in retired {
-                        self.unqueue_removal(
-                            mapping,
-                            &doomed,
-                            &mut queued,
-                            &mut broken,
-                            &mut report,
-                        );
+                        self.unqueue_removal(mapping, &doomed, &mut edited, &mut report);
                     }
                 }
                 EventEffect::MappingChanged(mapping) => {
+                    edited.insert(mapping);
                     if let Some(&idx) = self.mapping_shard.get(&mapping) {
-                        if !broken.contains(&idx) {
+                        if !self.scratch.broken[idx] {
                             let local = self.shards[idx].to_local_mapping[&mapping];
-                            queued
-                                .entry(idx)
-                                .or_default()
-                                .push(retarget_mapping_event(event, local));
+                            self.scratch
+                                .queue(idx, retarget_mapping_event(event, local));
                         }
                     }
                 }
@@ -645,6 +777,7 @@ impl ShardedSession {
         }
 
         // Reconcile the final partition against the surviving shards and dispatch.
+        let splice_enabled = effective_splice(self.seed.analysis.splice);
         let partitions: Vec<Vec<PeerId>> = self
             .components
             .partitions()
@@ -656,21 +789,23 @@ impl ShardedSession {
         for (i, shard) in old_shards.iter().enumerate() {
             old_by_first.insert(shard.peers[0], i);
         }
+        let old_shard_count = old_shards.len();
         let mut old_slots: Vec<Option<Shard>> = old_shards.into_iter().map(Some).collect();
         let tasks: Vec<ShardTask> = partitions
             .into_iter()
             .map(|peers| match old_by_first.get(&peers[0]) {
                 Some(&oi)
-                    if !broken.contains(&oi)
+                    if !self.scratch.broken[oi]
                         && old_slots[oi].as_ref().is_some_and(|s| s.peers == peers) =>
                 {
                     let shard = old_slots[oi].take().expect("matched shard present");
-                    match queued.remove(&oi) {
-                        Some(events) => ShardTask::Apply(shard, events),
-                        None => ShardTask::Keep(shard),
+                    if self.scratch.queued[oi].is_empty() {
+                        ShardTask::Keep(shard)
+                    } else {
+                        ShardTask::Apply(shard, std::mem::take(&mut self.scratch.queued[oi]))
                     }
                 }
-                _ => ShardTask::Build(peers),
+                _ => self.structural_task(peers, &old_slots, splice_enabled, &added, &edited),
             })
             .collect();
         let workers = effective_shard_parallelism(self.seed.analysis.shard_parallelism);
@@ -678,23 +813,65 @@ impl ShardedSession {
             tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let catalog = &self.catalog;
         let seed = &self.seed;
-        // (shard, incremental rounds, was it an apply, was it a rebuild)
-        let results: Vec<(Shard, usize, bool, bool)> = run_stealing(workers, slots.len(), |i| {
+        // Broken shards were never taken out of `old_slots`, so splice tasks can
+        // read their donors through this shared view while dispatch runs.
+        let donor_pool = &old_slots;
+        let results: Vec<ShardOutcome> = run_stealing(workers, slots.len(), |i| {
             let task = slots[i]
                 .lock()
                 .expect("shard task lock")
                 .take()
                 .expect("each task taken once");
+            let start = Instant::now();
             match task {
-                ShardTask::Keep(shard) => (shard, 0, false, false),
+                ShardTask::Keep(shard) => ShardOutcome {
+                    shard,
+                    rounds: 0,
+                    work: ShardWork::Kept,
+                    elapsed: Duration::ZERO,
+                },
                 ShardTask::Apply(mut shard, events) => {
                     let apply = shard.session.apply(&events);
-                    (shard, apply.rounds, true, false)
+                    ShardOutcome {
+                        shard,
+                        rounds: apply.rounds,
+                        work: ShardWork::Applied,
+                        elapsed: start.elapsed(),
+                    }
                 }
                 ShardTask::Build(peers) => {
                     let shard = build_shard(catalog, &peers, seed);
                     let rounds = shard.session.rounds();
-                    (shard, rounds, false, true)
+                    ShardOutcome {
+                        shard,
+                        rounds,
+                        work: ShardWork::Rebuilt,
+                        elapsed: start.elapsed(),
+                    }
+                }
+                ShardTask::Splice {
+                    peers,
+                    donors,
+                    new_mappings,
+                    edited,
+                } => {
+                    let donor_shards: Vec<&Shard> = donors
+                        .iter()
+                        .map(|&d| {
+                            donor_pool[d]
+                                .as_ref()
+                                .expect("donor shards survive until dispatch")
+                        })
+                        .collect();
+                    let (shard, evidence_added) =
+                        splice_shard(catalog, &peers, &donor_shards, &new_mappings, &edited, seed);
+                    let rounds = shard.session.rounds();
+                    ShardOutcome {
+                        shard,
+                        rounds,
+                        work: ShardWork::Spliced { evidence_added },
+                        elapsed: start.elapsed(),
+                    }
                 }
             }
         });
@@ -706,28 +883,43 @@ impl ShardedSession {
         for discarded in old_slots.into_iter().flatten() {
             dirty_mappings.extend(discarded.to_global_mapping.iter().copied());
         }
-        let old_shard_count = old_by_first.len();
         let mut changed: Vec<usize> = Vec::new();
         self.shards = Vec::with_capacity(results.len());
-        for (shard, rounds, applied, rebuilt) in results {
-            report.rounds += rounds;
-            if applied {
-                report.shards_touched += 1;
-            }
-            if rebuilt {
-                report.shards_rebuilt += 1;
-            }
-            if applied || rebuilt {
-                dirty_mappings.extend(shard.to_global_mapping.iter().copied());
+        for outcome in results {
+            report.rounds += outcome.rounds;
+            report.shard_time += outcome.elapsed;
+            report.slowest_shard = report.slowest_shard.max(outcome.elapsed);
+            let refresh = match outcome.work {
+                ShardWork::Kept => false,
+                ShardWork::Applied => {
+                    report.shards_touched += 1;
+                    true
+                }
+                ShardWork::Rebuilt => {
+                    report.shards_rebuilt += 1;
+                    true
+                }
+                ShardWork::Spliced { evidence_added } => {
+                    report.shards_spliced += 1;
+                    report.splice_evidence_added += evidence_added;
+                    true
+                }
+            };
+            if refresh {
+                dirty_mappings.extend(outcome.shard.to_global_mapping.iter().copied());
                 changed.push(self.shards.len());
             }
-            self.shards.push(shard);
+            self.shards.push(outcome.shard);
         }
         report.mappings_coalesced = doomed.len();
         // Shard indices only shift when the partition itself changed — every
-        // partition change goes through a rebuild, so a rebuild-free batch keeps
-        // the peer/mapping indices valid as incrementally maintained above.
-        if report.shards_rebuilt > 0 || self.shards.len() != old_shard_count {
+        // partition change goes through a splice or rebuild, so a batch without
+        // either keeps the peer/mapping indices valid as incrementally maintained
+        // above.
+        if report.shards_rebuilt > 0
+            || report.shards_spliced > 0
+            || self.shards.len() != old_shard_count
+        {
             self.reindex();
         }
         for mapping in &dirty_mappings {
@@ -743,23 +935,75 @@ impl ShardedSession {
         self.stats.splits += report.splits;
         self.stats.shard_applies += report.shards_touched;
         self.stats.shard_rebuilds += report.shards_rebuilt;
+        self.stats.shards_spliced += report.shards_spliced;
+        self.stats.splice_evidence_added += report.splice_evidence_added;
         report
+    }
+
+    /// Builds the dispatch task for a component whose shard changed structurally
+    /// this batch: the warm splice when donor state exists (and splicing is
+    /// enabled), else a cold build.
+    fn structural_task(
+        &self,
+        peers: Vec<PeerId>,
+        old_slots: &[Option<Shard>],
+        splice_enabled: bool,
+        added: &[MappingId],
+        edited: &BTreeSet<MappingId>,
+    ) -> ShardTask {
+        if !splice_enabled {
+            return ShardTask::Build(peers);
+        }
+        // Donors: every surviving old shard covering one of the component's peers.
+        // Scanning the peers ascending orders donors by their smallest covered
+        // peer, which keeps the spliced evidence order deterministic. (Shards
+        // matched as Keep/Apply can never appear here: their peer set equals a
+        // different — disjoint — partition.)
+        let mut donors: Vec<usize> = Vec::new();
+        for peer in &peers {
+            let idx = self.peer_shard[peer.0];
+            if idx == usize::MAX
+                || donors.contains(&idx)
+                || old_slots.get(idx).is_none_or(|slot| slot.is_none())
+            {
+                continue;
+            }
+            donors.push(idx);
+        }
+        if donors.is_empty() {
+            // A component made purely of this batch's new peers: nothing warm to
+            // carry over, the cold build is the incremental path.
+            return ShardTask::Build(peers);
+        }
+        let in_partition = |peer: PeerId| peers.binary_search(&peer).is_ok();
+        let new_mappings: Vec<MappingId> = added
+            .iter()
+            .copied()
+            .filter(|m| in_partition(self.catalog.mapping_endpoints(*m).0))
+            .collect();
+        let edited: Vec<MappingId> = edited
+            .iter()
+            .copied()
+            .filter(|m| {
+                !self.catalog.is_mapping_removed(*m)
+                    && in_partition(self.catalog.mapping_endpoints(*m).0)
+            })
+            .collect();
+        ShardTask::Splice {
+            peers,
+            donors,
+            new_mappings,
+            edited,
+        }
     }
 
     /// Queues an intra-component mapping addition on its shard, registering the
     /// predicted local slot so later events of the batch can name the mapping.
-    fn queue_add(
-        &mut self,
-        mapping: MappingId,
-        source: PeerId,
-        event: &NetworkEvent,
-        queued: &mut BTreeMap<usize, Vec<NetworkEvent>>,
-        broken: &BTreeSet<usize>,
-    ) {
+    fn queue_add(&mut self, mapping: MappingId, source: PeerId, event: &NetworkEvent) {
         let idx = self.peer_shard[source.0];
-        if idx == usize::MAX || broken.contains(&idx) {
+        if idx == usize::MAX || self.scratch.broken[idx] {
             // Component created in this batch (new peers) or a shard already due
-            // for a rebuild: the rebuild phase reads the final catalog.
+            // for a splice/rebuild: the dispatch phase reads the final catalog.
             return;
         }
         let NetworkEvent::AddMapping {
@@ -770,6 +1014,12 @@ impl ShardedSession {
         else {
             unreachable!("MappingAdded comes from AddMapping events");
         };
+        // Queued additions allocate shard-local slots in queue order, right after
+        // the slots the sub-catalog already has.
+        let pending_adds = self.scratch.queued[idx]
+            .iter()
+            .filter(|e| matches!(e, NetworkEvent::AddMapping { .. }))
+            .count();
         let shard = &mut self.shards[idx];
         let local_source = shard
             .local_peer(source)
@@ -777,23 +1027,19 @@ impl ShardedSession {
         let local_target = shard
             .local_peer(*target)
             .expect("shard covers the mapping target");
-        // Queued additions allocate shard-local slots in queue order, right after
-        // the slots the sub-catalog already has.
-        let pending = queued.entry(idx).or_default();
-        let pending_adds = pending
-            .iter()
-            .filter(|e| matches!(e, NetworkEvent::AddMapping { .. }))
-            .count();
         let local_id = MappingId(shard.session.catalog().mapping_slot_count() + pending_adds);
         shard.to_global_mapping.push(mapping);
         debug_assert_eq!(shard.to_global_mapping.len() - 1, local_id.0);
         shard.to_local_mapping.insert(mapping, local_id);
         self.mapping_shard.insert(mapping, idx);
-        pending.push(NetworkEvent::AddMapping {
-            source: local_source,
-            target: local_target,
-            correspondences: correspondences.clone(),
-        });
+        self.scratch.queue(
+            idx,
+            NetworkEvent::AddMapping {
+                source: local_source,
+                target: local_target,
+                correspondences: correspondences.clone(),
+            },
+        );
     }
 
     /// Processes one (non-coalesced) mapping removal: topology + component
@@ -803,10 +1049,10 @@ impl ShardedSession {
         &mut self,
         mapping: MappingId,
         doomed: &BTreeSet<MappingId>,
-        queued: &mut BTreeMap<usize, Vec<NetworkEvent>>,
-        broken: &mut BTreeSet<usize>,
+        edited: &mut BTreeSet<MappingId>,
         report: &mut BatchReport,
     ) {
+        edited.remove(&mapping);
         if doomed.contains(&mapping) {
             // Added by this very batch: the mirror edge is already tombstoned and
             // no shard ever saw the mapping.
@@ -821,23 +1067,20 @@ impl ShardedSession {
         match split {
             SplitOutcome::StillConnected => {
                 if let Some(idx) = idx {
-                    if !broken.contains(&idx) {
-                        let shard = &mut self.shards[idx];
-                        let local = shard
+                    if !self.scratch.broken[idx] {
+                        let local = self.shards[idx]
                             .to_local_mapping
                             .remove(&mapping)
                             .expect("shard tracks its live mappings");
-                        queued
-                            .entry(idx)
-                            .or_default()
-                            .push(NetworkEvent::RemoveMapping { mapping: local });
+                        self.scratch
+                            .queue(idx, NetworkEvent::RemoveMapping { mapping: local });
                     }
                 }
             }
             SplitOutcome::Split { .. } => {
                 report.splits += 1;
                 if let Some(idx) = idx {
-                    broken.insert(idx);
+                    self.scratch.mark_broken(idx);
                 }
             }
         }
@@ -884,11 +1127,9 @@ fn fill_from_shard(merged: &mut PosteriorTable, shard: &Shard) {
     }
 }
 
-/// Builds one shard from the global catalog: the sub-catalog replicates the
-/// component's peers (ascending global id) and live mappings (ascending global
-/// mapping id), which makes shard-local enumeration order-isomorphic to the global
-/// one restricted to the component.
-fn build_shard(catalog: &Catalog, peers: &[PeerId], seed: &ShardSeed) -> Shard {
+/// Replicates a component's peers into a fresh sub-catalog: shard-local peer `k`
+/// is the `k`-th smallest global peer id of the component.
+fn build_sub_peers(catalog: &Catalog, peers: &[PeerId]) -> Catalog {
     let mut sub = Catalog::new();
     for &peer in peers {
         let names: Vec<String> = catalog
@@ -902,6 +1143,18 @@ fn build_shard(catalog: &Catalog, peers: &[PeerId], seed: &ShardSeed) -> Shard {
             }
         });
     }
+    sub
+}
+
+/// Copies one live global mapping into a shard sub-catalog, translating its
+/// endpoints to shard-local peer ids. Returns the allocated shard-local mapping
+/// id (always the next slot).
+fn copy_mapping_into(
+    sub: &mut Catalog,
+    catalog: &Catalog,
+    peers: &[PeerId],
+    mapping: MappingId,
+) -> MappingId {
     let local_peer = |global: PeerId| {
         PeerId(
             peers
@@ -909,31 +1162,24 @@ fn build_shard(catalog: &Catalog, peers: &[PeerId], seed: &ShardSeed) -> Shard {
                 .expect("mapping endpoint belongs to the component"),
         )
     };
-    let mut to_global_mapping = Vec::new();
-    let mut to_local_mapping = BTreeMap::new();
-    for mapping in catalog.mappings() {
-        let (source, target) = catalog.mapping_endpoints(mapping);
-        if peers.binary_search(&source).is_err() {
-            continue;
+    let (source, target) = catalog.mapping_endpoints(mapping);
+    let global = catalog.mapping(mapping);
+    sub.add_mapping(local_peer(source), local_peer(target), |mut builder| {
+        for (attribute, correspondence) in global.correspondences() {
+            builder = match correspondence.expected {
+                Some(expected) if expected == correspondence.target => {
+                    builder.correct(attribute, correspondence.target)
+                }
+                Some(expected) => builder.erroneous(attribute, correspondence.target, expected),
+                None => builder.unjudged(attribute, correspondence.target),
+            };
         }
-        let global = catalog.mapping(mapping);
-        let local = sub.add_mapping(local_peer(source), local_peer(target), |mut builder| {
-            for (attribute, correspondence) in global.correspondences() {
-                builder = match correspondence.expected {
-                    Some(expected) if expected == correspondence.target => {
-                        builder.correct(attribute, correspondence.target)
-                    }
-                    Some(expected) => builder.erroneous(attribute, correspondence.target, expected),
-                    None => builder.unjudged(attribute, correspondence.target),
-                };
-            }
-            builder
-        });
-        debug_assert_eq!(local.0, to_global_mapping.len());
-        to_global_mapping.push(mapping);
-        to_local_mapping.insert(mapping, local);
-    }
-    // Remap the initial priors onto shard-local ids.
+        builder
+    })
+}
+
+/// Remaps the builder-provided prior store onto shard-local mapping ids.
+fn remap_priors(seed: &ShardSeed, to_local_mapping: &BTreeMap<MappingId, MappingId>) -> PriorStore {
     let mut priors = PriorStore::with_default(seed.priors.default_prior());
     for (key, p) in seed.priors.snapshot() {
         if let Some(&local) = to_local_mapping.get(&key.mapping) {
@@ -946,6 +1192,28 @@ fn build_shard(catalog: &Catalog, peers: &[PeerId], seed: &ShardSeed) -> Shard {
             );
         }
     }
+    priors
+}
+
+/// Builds one shard cold from the global catalog: the sub-catalog replicates the
+/// component's peers (ascending global id) and live mappings (ascending global
+/// mapping id), which makes shard-local enumeration order-isomorphic to the global
+/// one restricted to the component.
+fn build_shard(catalog: &Catalog, peers: &[PeerId], seed: &ShardSeed) -> Shard {
+    let mut sub = build_sub_peers(catalog, peers);
+    let mut to_global_mapping = Vec::new();
+    let mut to_local_mapping = BTreeMap::new();
+    for mapping in catalog.mappings() {
+        let (source, _) = catalog.mapping_endpoints(mapping);
+        if peers.binary_search(&source).is_err() {
+            continue;
+        }
+        let local = copy_mapping_into(&mut sub, catalog, peers, mapping);
+        debug_assert_eq!(local.0, to_global_mapping.len());
+        to_global_mapping.push(mapping);
+        to_local_mapping.insert(mapping, local);
+    }
+    let priors = remap_priors(seed, &to_local_mapping);
     let session = EngineBuilder::new()
         .analysis(seed.analysis.clone())
         .granularity(seed.granularity)
@@ -958,6 +1226,217 @@ fn build_shard(catalog: &Catalog, peers: &[PeerId], seed: &ShardSeed) -> Shard {
         session,
         to_global_mapping,
         to_local_mapping,
+    }
+}
+
+/// Assembles one component's shard **warm** from donor shards.
+///
+/// The merged sub-catalog is built exactly like a cold shard's (peers and live
+/// mappings ascending by global id), but the expensive pipeline never runs:
+///
+/// 1. the donors' cached evidence analyses are remapped onto the merged local ids
+///    ([`splice_donor_analysis`] — a merge keeps every donor path, a split keeps
+///    exactly the surviving side's, removals drop only the paths through the dead
+///    mapping);
+/// 2. the mappings this batch added are appended **one at a time** against the
+///    growing topology mirror and searched with the targeted per-edge DFS — the
+///    same sequential semantics as per-event application, so evidence through
+///    several new edges is discovered exactly once, and the only enumeration paid
+///    is the bridge's neighborhood;
+/// 3. evidence through edited mappings is re-observed in place;
+/// 4. inference warm-starts from the donors' converged posteriors — only
+///    variables on bridging or edited mappings restart from the unit message,
+///    mirroring [`EngineSession::apply`]'s warm-start rule — so the message
+///    passing re-activates only around the new evidence.
+///
+/// Returns the shard and the number of evidence paths the bridge searches found.
+fn splice_shard(
+    catalog: &Catalog,
+    peers: &[PeerId],
+    donors: &[&Shard],
+    new_mappings: &[MappingId],
+    edited: &[MappingId],
+    seed: &ShardSeed,
+) -> (Shard, usize) {
+    let new_set: BTreeSet<MappingId> = new_mappings.iter().copied().collect();
+    let mut sub = build_sub_peers(catalog, peers);
+    let mut to_global_mapping = Vec::new();
+    let mut to_local_mapping = BTreeMap::new();
+    // Pre-existing live mappings first, ascending global id. The batch's new
+    // mappings hold the highest global ids of all live mappings, so appending
+    // them afterwards (also ascending) reproduces the exact slot assignment a
+    // cold build would produce.
+    for mapping in catalog.mappings() {
+        let (source, _) = catalog.mapping_endpoints(mapping);
+        if peers.binary_search(&source).is_err() || new_set.contains(&mapping) {
+            continue;
+        }
+        let local = copy_mapping_into(&mut sub, catalog, peers, mapping);
+        debug_assert_eq!(local.0, to_global_mapping.len());
+        to_global_mapping.push(mapping);
+        to_local_mapping.insert(mapping, local);
+    }
+    let mut topology = build_topology(&sub);
+    let mut analysis = CycleAnalysis::default();
+    for donor in donors {
+        splice_donor_analysis(&mut analysis, donor, peers, &to_local_mapping);
+    }
+    let mut evidence_added = 0usize;
+    let mut new_locals: Vec<MappingId> = Vec::with_capacity(new_mappings.len());
+    for &global in new_mappings {
+        let local = copy_mapping_into(&mut sub, catalog, peers, global);
+        let (source, target) = sub.mapping_endpoints(local);
+        let edge = topology.add_edge(NodeId(source.0), NodeId(target.0));
+        debug_assert_eq!(edge.0, local.0, "mirror edge ids = mapping ids");
+        debug_assert_eq!(local.0, to_global_mapping.len());
+        to_global_mapping.push(global);
+        to_local_mapping.insert(global, local);
+        let delta = analysis.add_mapping_incremental_in(&sub, &topology, local, &seed.analysis);
+        evidence_added += delta.evidences_added;
+        new_locals.push(local);
+    }
+    let edited_locals: Vec<MappingId> = edited
+        .iter()
+        .filter_map(|m| to_local_mapping.get(m).copied())
+        .collect();
+    if !edited_locals.is_empty() {
+        analysis.reobserve_mappings(&sub, &edited_locals);
+    }
+    // Warm state: every surviving donor variable that is not on a bridging or
+    // edited mapping carries its converged posterior over.
+    let restart: BTreeSet<MappingId> = new_locals
+        .iter()
+        .chain(edited_locals.iter())
+        .copied()
+        .collect();
+    let mut warm: BTreeMap<VariableKey, f64> = BTreeMap::new();
+    for donor in donors {
+        for (key, p) in donor.session.variable_posteriors() {
+            let global = donor.to_global_mapping[key.mapping.0];
+            let Some(&local) = to_local_mapping.get(&global) else {
+                continue; // removed, or stranded on the other side of a split
+            };
+            if restart.contains(&local) {
+                continue;
+            }
+            warm.insert(
+                VariableKey {
+                    mapping: local,
+                    attribute: key.attribute,
+                },
+                *p,
+            );
+        }
+    }
+    let priors = remap_priors(seed, &to_local_mapping);
+    let session = EngineSession::from_spliced_parts(
+        seed.analysis.clone(),
+        seed.granularity,
+        seed.delta,
+        seed.backend.clone(),
+        priors,
+        SplicedParts {
+            catalog: sub,
+            topology,
+            analysis,
+            warm,
+        },
+    );
+    (
+        Shard {
+            peers: peers.to_vec(),
+            session,
+            to_global_mapping,
+            to_local_mapping,
+        },
+        evidence_added,
+    )
+}
+
+/// Appends one donor's surviving evidence paths (and their observations) to a
+/// spliced analysis, remapped onto the merged shard's local identifiers.
+///
+/// An evidence path survives iff every one of its mappings is still live and
+/// inside the new component: a merge keeps every donor path verbatim, a split
+/// keeps exactly the paths whose mappings all stayed on this side (evidence is a
+/// connected subgraph, so it can never straddle the cut), and paths through a
+/// removed mapping are dropped — the same invalidation
+/// [`CycleAnalysis::remove_mapping_incremental`] performs, expressed as a filter.
+fn splice_donor_analysis(
+    analysis: &mut CycleAnalysis,
+    donor: &Shard,
+    peers: &[PeerId],
+    to_local_mapping: &BTreeMap<MappingId, MappingId>,
+) {
+    let donor_analysis = donor.session.analysis();
+    let remap_mapping = |donor_local: MappingId| -> Option<MappingId> {
+        to_local_mapping
+            .get(&donor.to_global_mapping[donor_local.0])
+            .copied()
+    };
+    let remap_peer = |donor_local: PeerId| -> PeerId {
+        PeerId(
+            peers
+                .binary_search(&donor.peers[donor_local.0])
+                .expect("peers of surviving evidence lie in the component"),
+        )
+    };
+    // Donor observations grouped per evidence: incremental donor churn appends
+    // re-observations out of evidence order, and the splice re-normalises to the
+    // grouped-by-evidence shape a cold analysis produces.
+    let mut obs_of: Vec<Vec<&FeedbackObservation>> =
+        vec![Vec::new(); donor_analysis.evidences.len()];
+    for observation in &donor_analysis.observations {
+        obs_of[observation.evidence].push(observation);
+    }
+    for evidence in &donor_analysis.evidences {
+        let Some(mappings) = evidence
+            .mappings
+            .iter()
+            .map(|m| remap_mapping(*m))
+            .collect::<Option<Vec<MappingId>>>()
+        else {
+            continue;
+        };
+        let id = analysis.evidences.len();
+        let source = match evidence.source {
+            EvidenceSource::Cycle { origin } => EvidenceSource::Cycle {
+                origin: remap_peer(origin),
+            },
+            EvidenceSource::ParallelPaths {
+                source,
+                destination,
+            } => EvidenceSource::ParallelPaths {
+                source: remap_peer(source),
+                destination: remap_peer(destination),
+            },
+        };
+        analysis.evidences.push(EvidencePath {
+            id,
+            source,
+            mappings,
+            split: evidence.split,
+        });
+        for observation in &obs_of[evidence.id] {
+            analysis.observations.push(FeedbackObservation {
+                evidence: id,
+                origin_attribute: observation.origin_attribute,
+                feedback: observation.feedback,
+                steps: observation
+                    .steps
+                    .iter()
+                    .map(|(m, a)| {
+                        (
+                            remap_mapping(*m).expect("observation steps stay within the evidence"),
+                            *a,
+                        )
+                    })
+                    .collect(),
+                dropped_by: observation
+                    .dropped_by
+                    .map(|m| remap_mapping(m).expect("dropping mapping stays within the evidence")),
+            });
+        }
     }
 }
 

@@ -131,23 +131,6 @@ pub fn strongly_connected_components(graph: &DiGraph) -> Condensation {
     }
 }
 
-/// Undirected BFS from `start`, returning the set of reached node indices (the
-/// nodes of `start`'s component in the current graph).
-fn bfs_side(graph: &DiGraph, start: NodeId) -> std::collections::BTreeSet<usize> {
-    let mut reached = std::collections::BTreeSet::new();
-    let mut queue = VecDeque::new();
-    reached.insert(start.0);
-    queue.push_back(start);
-    while let Some(node) = queue.pop_front() {
-        for nb in graph.neighbors_undirected(node) {
-            if reached.insert(nb.0) {
-                queue.push_back(nb);
-            }
-        }
-    }
-    reached
-}
-
 /// Edges of the condensation DAG: one `(from component, to component)` pair per live
 /// edge crossing two different components, deduplicated.
 pub fn condensation_edges(graph: &DiGraph, condensation: &Condensation) -> Vec<(usize, usize)> {
@@ -239,6 +222,17 @@ pub struct IncrementalComponents {
     parent: Vec<usize>,
     /// Component size per root (garbage for non-roots).
     size: Vec<usize>,
+    /// Scratch for the split BFS: per-node visit stamps. A node is visited by the
+    /// current search iff its stamp equals `visit_epoch`, so the buffer never
+    /// needs clearing — bumping the epoch invalidates every stamp at once.
+    visit_mark: Vec<u64>,
+    /// Stamp of the most recent BFS (0 = no search has run yet).
+    visit_epoch: u64,
+    /// Scratch: BFS frontier, reused across [`IncrementalComponents::split`]
+    /// calls so the churn hot loop allocates nothing once warmed up.
+    queue: VecDeque<usize>,
+    /// Scratch: the nodes the most recent BFS reached, in discovery order.
+    reached: Vec<usize>,
 }
 
 impl IncrementalComponents {
@@ -247,6 +241,10 @@ impl IncrementalComponents {
         Self {
             parent: (0..n).collect(),
             size: vec![1; n],
+            visit_mark: vec![0; n],
+            visit_epoch: 0,
+            queue: VecDeque::new(),
+            reached: Vec::new(),
         }
     }
 
@@ -277,6 +275,7 @@ impl IncrementalComponents {
         let id = self.parent.len();
         self.parent.push(id);
         self.size.push(1);
+        self.visit_mark.push(0);
         id
     }
 
@@ -330,31 +329,66 @@ impl IncrementalComponents {
             self.find(b.0),
             "split endpoints share a component"
         );
-        // BFS from `a` over the component's remaining edges.
-        let side_a = bfs_side(graph, a);
-        if side_a.contains(&b.0) {
+        // BFS from `a` over the component's remaining edges, into the persistent
+        // stamp/queue scratch (no per-call allocation once the buffers are warm).
+        self.bfs_into_scratch(graph, a);
+        if self.visit_mark[b.0] == self.visit_epoch {
             return SplitOutcome::StillConnected;
         }
         // The component broke. Every old member is reachable from `a` or from `b`
         // (its old path to `a` either avoids the removed edge or can be truncated
         // at the first crossing), so one more BFS from `b` yields the other half —
         // no scan over unrelated components' nodes is needed.
-        let side_b = bfs_side(graph, b);
-        for &n in &side_a {
+        let side_a_len = self.reached.len();
+        for i in 0..side_a_len {
+            let n = self.reached[i];
             self.parent[n] = a.0;
         }
-        // `side_b` iterates ascending, so `moved` comes out sorted.
-        let mut moved: Vec<NodeId> = Vec::with_capacity(side_b.len());
-        for &n in &side_b {
+        self.size[a.0] = side_a_len;
+        self.bfs_into_scratch(graph, b);
+        self.reached.sort_unstable();
+        let mut moved: Vec<NodeId> = Vec::with_capacity(self.reached.len());
+        for i in 0..self.reached.len() {
+            let n = self.reached[i];
             self.parent[n] = b.0;
             moved.push(NodeId(n));
         }
-        self.size[a.0] = side_a.len();
-        self.size[b.0] = side_b.len();
+        self.size[b.0] = self.reached.len();
         SplitOutcome::Split {
             kept: a.0,
             created: b.0,
             moved,
+        }
+    }
+
+    /// Undirected BFS from `start` into the reusable scratch buffers: stamps every
+    /// reached node with a fresh `visit_epoch` and collects it into `reached`.
+    fn bfs_into_scratch(&mut self, graph: &DiGraph, start: NodeId) {
+        if self.visit_mark.len() < self.parent.len() {
+            self.visit_mark.resize(self.parent.len(), 0);
+        }
+        self.visit_epoch += 1;
+        let epoch = self.visit_epoch;
+        self.reached.clear();
+        self.queue.clear();
+        self.visit_mark[start.0] = epoch;
+        self.reached.push(start.0);
+        self.queue.push_back(start.0);
+        while let Some(node) = self.queue.pop_front() {
+            // Outgoing and incoming edges walked directly: the visit stamps already
+            // deduplicate, so the allocating, sorting `neighbors_undirected` view
+            // is unnecessary here.
+            let neighbors = graph
+                .outgoing(NodeId(node))
+                .map(|e| e.target)
+                .chain(graph.incoming(NodeId(node)).map(|e| e.source));
+            for nb in neighbors {
+                if self.visit_mark[nb.0] != epoch {
+                    self.visit_mark[nb.0] = epoch;
+                    self.reached.push(nb.0);
+                    self.queue.push_back(nb.0);
+                }
+            }
         }
     }
 

@@ -51,10 +51,10 @@ pub use loops::{
 };
 pub use metrics::{clustering_coefficient, degree_distribution, GraphMetrics};
 pub use parallelism::{
-    effective_batch_size, effective_parallelism, effective_shard_parallelism, run_stealing,
-    StealConfig, SubtaskCost, BATCH_SIZE_ENV, DEFAULT_HEAVY_ORIGIN_THRESHOLD,
+    effective_batch_size, effective_parallelism, effective_shard_parallelism, effective_splice,
+    run_stealing, StealConfig, SubtaskCost, BATCH_SIZE_ENV, DEFAULT_HEAVY_ORIGIN_THRESHOLD,
     DEFAULT_STEAL_GRANULARITY, HEAVY_ORIGIN_THRESHOLD_ENV, PARALLELISM_ENV, SHARD_PARALLELISM_ENV,
-    STEAL_GRANULARITY_ENV,
+    SPLICE_ENV, STEAL_GRANULARITY_ENV,
 };
 pub use paths::{
     enumerate_parallel_paths, enumerate_parallel_paths_parallel,

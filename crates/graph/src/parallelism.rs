@@ -52,6 +52,28 @@ pub const SHARD_PARALLELISM_ENV: &str = "PDMS_SHARD_PARALLELISM";
 /// slice as one batch).
 pub const BATCH_SIZE_ENV: &str = "PDMS_BATCH_SIZE";
 
+/// Environment variable toggling the warm shard-splice path of `pdms_core`'s
+/// sharded sessions: set to `0`, `false`, `off` or `no` to force cold shard
+/// rebuilds on component merges and splits (the pre-splice fallback). Results
+/// are identical either way — the knob exists so both paths stay exercised and
+/// comparable.
+pub const SPLICE_ENV: &str = "PDMS_SPLICE";
+
+/// Resolves the shard-splice knob: an explicit setting wins, else
+/// [`SPLICE_ENV`] (`0` / `false` / `off` / `no` disable), else enabled.
+pub fn effective_splice(requested: Option<bool>) -> bool {
+    if let Some(explicit) = requested {
+        return explicit;
+    }
+    match std::env::var(SPLICE_ENV) {
+        Ok(value) => !matches!(
+            value.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
 /// Resolves the shard-dispatch parallelism knob (`0` = auto) to a concrete worker
 /// count (>= 1): an explicit request wins, else [`SHARD_PARALLELISM_ENV`], else
 /// [`std::thread::available_parallelism`]. Scheduling only — shard dispatch order

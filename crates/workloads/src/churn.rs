@@ -28,6 +28,13 @@ pub struct ChurnConfig {
     pub new_mappings_per_epoch: f64,
     /// Error rate applied to the correspondences of newly added mappings.
     pub new_mapping_error_rate: f64,
+    /// Probability that an epoch adds an **island-bridging** mapping: one whose
+    /// endpoints lie in two different weakly connected components of the current
+    /// mapping network — a component merge, the dominant structural event in a
+    /// growing PDMS and the event the sharded engine's warm splice path serves.
+    /// No-op when the network is already one component. Default 0 (the historic
+    /// event mix, and no extra RNG draws, so existing seeds reproduce exactly).
+    pub merge_rate: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -40,6 +47,7 @@ impl Default for ChurnConfig {
             drop_rate: 0.005,
             new_mappings_per_epoch: 0.5,
             new_mapping_error_rate: 0.15,
+            merge_rate: 0.0,
             seed: 1735,
         }
     }
@@ -118,7 +126,35 @@ impl ChurnGenerator {
                 events.push(event);
             }
         }
+
+        // Island-bridging mapping: a component merge. Guarded so a zero rate draws
+        // nothing from the RNG and historic seeds replay byte-identically.
+        if self.config.merge_rate > 0.0 && self.rng.gen_bool(self.config.merge_rate.clamp(0.0, 1.0))
+        {
+            if let Some(event) = self.draw_bridge_mapping(catalog) {
+                events.push(event);
+            }
+        }
         events
+    }
+
+    /// Draws one mapping whose endpoints lie in two different weakly connected
+    /// components of the current network (`None` when the network is already one
+    /// component or the chosen peers share no attributes).
+    fn draw_bridge_mapping(&mut self, catalog: &Catalog) -> Option<NetworkEvent> {
+        let topology = pdms_core::cycle_analysis::build_topology(catalog);
+        let components = pdms_graph::connected_components(&topology);
+        if components.len() < 2 {
+            return None;
+        }
+        let a = self.rng.gen_range(0..components.len());
+        let mut b = self.rng.gen_range(0..components.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let source = PeerId(components[a][self.rng.gen_range(0..components[a].len())].0);
+        let target = PeerId(components[b][self.rng.gen_range(0..components[b].len())].0);
+        self.draw_add_mapping(catalog, source, target)
     }
 
     fn draw_new_mapping(&mut self, catalog: &Catalog) -> Option<NetworkEvent> {
@@ -133,36 +169,52 @@ impl ChurnGenerator {
             if source == target || !catalog.mappings_between(source, target).is_empty() {
                 continue;
             }
-            let source_size = catalog.peer_schema(source).attribute_count();
-            let target_size = catalog.peer_schema(target).attribute_count();
-            let shared = source_size.min(target_size);
-            if shared == 0 {
-                continue;
+            if let Some(event) = self.draw_add_mapping(catalog, source, target) {
+                return Some(event);
             }
-            let mut correspondences = Vec::with_capacity(shared);
-            for a in 0..shared {
-                let erroneous = target_size > 1
-                    && self
-                        .rng
-                        .gen_bool(self.config.new_mapping_error_rate.clamp(0.0, 1.0));
-                let target_attr = if erroneous {
-                    let mut wrong = self.rng.gen_range(0..target_size - 1);
-                    if wrong >= a {
-                        wrong += 1;
-                    }
-                    AttributeId(wrong)
-                } else {
-                    AttributeId(a)
-                };
-                correspondences.push((AttributeId(a), target_attr, Some(AttributeId(a))));
-            }
-            return Some(NetworkEvent::AddMapping {
-                source,
-                target,
-                correspondences,
-            });
         }
         None
+    }
+
+    /// Draws the correspondences of one new `source → target` mapping over the
+    /// shared attribute prefix, each erroneous with
+    /// [`ChurnConfig::new_mapping_error_rate`] (`None` when the schemas share no
+    /// attributes). Common tail of the uniform and island-bridging draws, so both
+    /// produce identically distributed mappings.
+    fn draw_add_mapping(
+        &mut self,
+        catalog: &Catalog,
+        source: PeerId,
+        target: PeerId,
+    ) -> Option<NetworkEvent> {
+        let source_size = catalog.peer_schema(source).attribute_count();
+        let target_size = catalog.peer_schema(target).attribute_count();
+        let shared = source_size.min(target_size);
+        if shared == 0 {
+            return None;
+        }
+        let mut correspondences = Vec::with_capacity(shared);
+        for attr in 0..shared {
+            let erroneous = target_size > 1
+                && self
+                    .rng
+                    .gen_bool(self.config.new_mapping_error_rate.clamp(0.0, 1.0));
+            let target_attr = if erroneous {
+                let mut wrong = self.rng.gen_range(0..target_size - 1);
+                if wrong >= attr {
+                    wrong += 1;
+                }
+                AttributeId(wrong)
+            } else {
+                AttributeId(attr)
+            };
+            correspondences.push((AttributeId(attr), target_attr, Some(AttributeId(attr))));
+        }
+        Some(NetworkEvent::AddMapping {
+            source,
+            target,
+            correspondences,
+        })
     }
 }
 

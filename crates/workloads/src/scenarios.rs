@@ -78,11 +78,15 @@ pub enum Scenario {
     /// Scale-free (hub-heavy) network: evidence enumeration balance under the
     /// work-stealing schedule, with worker-count invariance checked in-scenario.
     HubHeavyEnumeration,
+    /// Island federation under merge-heavy churn: epochs keep bridging previously
+    /// separate islands (plus ordinary correspondence churn), driving the sharded
+    /// engine's warm splice path — the workload `BENCH_merge_splice.json` times.
+    MergeHeavyChurn,
 }
 
 impl Scenario {
     /// All scenarios in paper order.
-    pub fn all() -> [Scenario; 8] {
+    pub fn all() -> [Scenario; 9] {
         [
             Scenario::Figure7Convergence,
             Scenario::Figure9RelativeError,
@@ -92,6 +96,7 @@ impl Scenario {
             Scenario::IntroExample,
             Scenario::BaselineComparison,
             Scenario::HubHeavyEnumeration,
+            Scenario::MergeHeavyChurn,
         ]
     }
 
@@ -110,6 +115,7 @@ impl Scenario {
             Scenario::IntroExample => intro_example(),
             Scenario::BaselineComparison => baseline_comparison(),
             Scenario::HubHeavyEnumeration => hub_heavy_enumeration(48, 2, 1.6, 2006),
+            Scenario::MergeHeavyChurn => merge_heavy_churn(4, 8, 8, 0.8, 2006),
         }
     }
 }
@@ -240,6 +246,67 @@ pub fn hub_heavy_enumeration(
         );
     }
     result.note("identical evidence at 1/2/4 workers", identical);
+    result
+}
+
+/// Island federation under merge-heavy churn: every epoch has probability
+/// `merge_rate` of adding an island-bridging mapping on top of the ordinary
+/// correspondence churn, so the sharded engine keeps merging components — the
+/// structural event the warm splice path (`pdms_core::ShardedSession`) exists
+/// for. Reports per-epoch shard counts and splice activity, plus the totals the
+/// merge-splice bench records.
+pub fn merge_heavy_churn(
+    islands: usize,
+    peers_per_island: usize,
+    epochs: usize,
+    merge_rate: f64,
+    seed: u64,
+) -> ScenarioResult {
+    use crate::churn::{ChurnConfig, ChurnGenerator};
+    let network = multi_component_network(islands, peers_per_island, 0.18, seed);
+    let mut session = pdms_core::Engine::builder()
+        .analysis(AnalysisConfig {
+            max_cycle_len: 4,
+            max_path_len: 3,
+            ..Default::default()
+        })
+        .embedded(EmbeddedConfig {
+            record_history: false,
+            ..Default::default()
+        })
+        .delta(0.1)
+        .build_sharded(network.catalog.clone());
+    let mut generator = ChurnGenerator::new(ChurnConfig {
+        merge_rate,
+        seed,
+        ..Default::default()
+    });
+    let mut result = ScenarioResult::new("merge-heavy-churn");
+    let mut shards_series = Vec::with_capacity(epochs);
+    let mut spliced_series = Vec::with_capacity(epochs);
+    let mut bridge_evidence_series = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let events = generator.epoch_events(session.catalog());
+        let report = session.apply_batch(&events);
+        shards_series.push((epoch as f64, session.shard_count() as f64));
+        spliced_series.push((epoch as f64, report.shards_spliced as f64));
+        bridge_evidence_series.push((epoch as f64, report.splice_evidence_added as f64));
+    }
+    result.push_series("shards per epoch", shards_series);
+    result.push_series("shards spliced per epoch", spliced_series);
+    result.push_series("bridge evidence per epoch", bridge_evidence_series);
+    let stats = session.stats();
+    result.note("islands", islands);
+    result.note("peers per island", peers_per_island);
+    result.note("merge rate", merge_rate);
+    result.note("epochs", epochs);
+    result.note("merges", stats.merges);
+    result.note("splits", stats.splits);
+    result.note("shards spliced", stats.shards_spliced);
+    result.note("bridge evidence added", stats.splice_evidence_added);
+    result.note("cold shard rebuilds", stats.shard_rebuilds);
+    result.note("final shard count", session.shard_count());
+    result.note("final evidence paths", session.evidence_count());
     result
 }
 

@@ -36,6 +36,7 @@ fn main() {
         new_mappings_per_epoch: 1.0,
         new_mapping_error_rate: 0.2,
         seed: 2006,
+        ..Default::default()
     });
 
     println!(

@@ -81,6 +81,7 @@ USAGE:
                  [--islands <n>] [--hub-exponent <a>] [--parallelism <n>]
                  [--steal-granularity <n>] [--heavy-threshold <n>]
                  [--sharded] [--batch-size <n>] [--shard-parallelism <n>]
+                 [--merge-rate <p>] [--no-splice]
       Generate a synthetic network and drive an incremental engine session through
       epochs of churn (corruptions, repairs, new mappings), printing per epoch how
       much evidence was reused versus invalidated and how many warm-started
@@ -98,11 +99,16 @@ USAGE:
       per epoch, auto via PDMS_BATCH_SIZE) and parallel shard dispatch
       (--shard-parallelism, 0 = auto via PDMS_SHARD_PARALLELISM). Posteriors are
       identical to the single-session engine; the table shows per-epoch shard
-      maintenance instead of evidence reuse.
+      maintenance (spliced/rebuilt shards, bridge evidence, dispatch timing)
+      instead of evidence reuse.
+      --merge-rate is the probability that a churn epoch adds an island-bridging
+      mapping (a component merge, the event the warm splice path exists for;
+      default 0). --no-splice forces cold shard rebuilds on merges and splits
+      (equivalent to PDMS_SPLICE=0); results are identical, only slower.
 ";
 
 /// Options that are boolean flags (present or absent, no value).
-const FLAGS: &[&str] = &["sharded"];
+const FLAGS: &[&str] = &["sharded", "no-splice"];
 
 #[derive(Debug, Default)]
 struct Options {
@@ -337,6 +343,8 @@ fn churn(options: &Options) -> Result<(), String> {
     let sharded = options.flag("sharded");
     let batch_size: usize = options.parsed("batch-size", 0)?;
     let shard_parallelism: usize = options.parsed("shard-parallelism", 0)?;
+    let merge_rate: f64 = options.parsed("merge-rate", 0.0)?;
+    let no_splice = options.flag("no-splice");
 
     let topology_name = options.get("topology").unwrap_or("small-world");
     let topology = match topology_name {
@@ -370,6 +378,7 @@ fn churn(options: &Options) -> Result<(), String> {
         heavy_origin_threshold: heavy_threshold,
         shard_parallelism,
         batch_size,
+        splice: if no_splice { Some(false) } else { None },
     };
     let embedded = pdms::core::EmbeddedConfig {
         record_history: false,
@@ -379,6 +388,7 @@ fn churn(options: &Options) -> Result<(), String> {
         return churn_sharded(
             epochs,
             seed,
+            merge_rate,
             topology_name,
             network,
             analysis_config,
@@ -401,6 +411,7 @@ fn churn(options: &Options) -> Result<(), String> {
 
     let mut generator = ChurnGenerator::new(ChurnConfig {
         seed,
+        merge_rate,
         ..Default::default()
     });
     println!(
@@ -447,11 +458,14 @@ fn churn(options: &Options) -> Result<(), String> {
 }
 
 /// The `churn --sharded` path: drives a component-sharded session through the same
-/// epochs, printing per-epoch shard maintenance (touched vs. rebuilt shards,
-/// merges, splits, coalesced pairs) instead of per-evidence accounting.
+/// epochs, printing per-epoch shard maintenance (touched / spliced / rebuilt
+/// shards, merges, splits, bridge evidence, per-shard dispatch timing) instead of
+/// per-evidence accounting.
+#[allow(clippy::too_many_arguments)]
 fn churn_sharded(
     epochs: usize,
     seed: u64,
+    merge_rate: f64,
     topology_name: &str,
     network: SyntheticNetwork,
     analysis_config: pdms::core::AnalysisConfig,
@@ -472,42 +486,52 @@ fn churn_sharded(
     );
     let mut generator = ChurnGenerator::new(ChurnConfig {
         seed,
+        merge_rate,
         ..Default::default()
     });
     println!(
-        "{:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>10} {:>7}",
+        "{:>5} {:>7} {:>7} {:>8} {:>8} {:>8} {:>7} {:>7} {:>9} {:>7} {:>9} {:>9}",
         "epoch",
         "events",
         "shards",
         "touched",
+        "spliced",
         "rebuilt",
         "merges",
         "splits",
-        "coalesced",
-        "rounds"
+        "bridge-ev",
+        "rounds",
+        "shard-ms",
+        "worst-ms"
     );
     for epoch in 0..epochs {
         let events = generator.epoch_events(session.catalog());
         let report = session.apply_batch(&events);
         println!(
-            "{epoch:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>10} {:>7}",
+            "{epoch:>5} {:>7} {:>7} {:>8} {:>8} {:>8} {:>7} {:>7} {:>9} {:>7} {:>9.2} {:>9.2}",
             report.events_applied,
             session.shard_count(),
             report.shards_touched,
+            report.shards_spliced,
             report.shards_rebuilt,
             report.merges,
             report.splits,
-            report.mappings_coalesced,
+            report.splice_evidence_added,
             report.rounds,
+            report.shard_time.as_secs_f64() * 1e3,
+            report.slowest_shard.as_secs_f64() * 1e3,
         );
     }
     let stats = session.stats();
     println!(
-        "\nsharded totals: {} batches, {} events, {} incremental shard applies, {} shard \
-         rebuilds, {} merges, {} splits, {} coalesced pairs",
+        "\nsharded totals: {} batches, {} events, {} incremental shard applies, {} warm \
+         splices (+{} bridge evidence paths), {} cold shard rebuilds, {} merges, {} splits, \
+         {} coalesced pairs",
         stats.batches,
         stats.events_applied,
         stats.shard_applies,
+        stats.shards_spliced,
+        stats.splice_evidence_added,
         stats.shard_rebuilds,
         stats.merges,
         stats.splits,

@@ -25,6 +25,7 @@ fn churn_epochs_keep_the_catalog_and_reports_consistent() {
         new_mappings_per_epoch: 1.0,
         new_mapping_error_rate: 0.25,
         seed: 99,
+        ..Default::default()
     });
 
     let initial_mappings = network.catalog.mapping_count();

@@ -187,4 +187,43 @@ proptest! {
         prop_assert_eq!(&serial.evidences, &scheduled.evidences);
         prop_assert_eq!(serial.observations.len(), scheduled.observations.len());
     }
+
+    /// The incrementally maintained weak-component partition equals a from-scratch
+    /// BFS decomposition after every merge/split of an arbitrary add/remove
+    /// schedule — the invariant the sharded engine's whole shard lifecycle (and
+    /// therefore the splice path's donor selection) rests on.
+    #[test]
+    fn incremental_components_match_recompute_under_random_churn(
+        nodes in 2usize..24,
+        schedule in proptest::collection::vec((0u64..u64::MAX, proptest::bool::ANY), 1..120),
+    ) {
+        use pdms::graph::{connected_components, DiGraph, EdgeId, IncrementalComponents, NodeId};
+        let mut graph = DiGraph::with_nodes(nodes);
+        let mut incremental = IncrementalComponents::from_graph(&graph);
+        let mut live: Vec<EdgeId> = Vec::new();
+        for (step, (draw, prefer_remove)) in schedule.into_iter().enumerate() {
+            if prefer_remove && !live.is_empty() {
+                let edge = live.swap_remove(draw as usize % live.len());
+                let endpoints = graph.edge(edge).unwrap();
+                graph.remove_edge(edge);
+                incremental.split(&graph, endpoints.source, endpoints.target);
+            } else {
+                let a = NodeId(draw as usize % nodes);
+                let b = NodeId((draw >> 32) as usize % nodes);
+                live.push(graph.add_edge(a, b));
+                incremental.merge(a, b);
+            }
+            prop_assert_eq!(
+                incremental.partitions(),
+                connected_components(&graph),
+                "diverged at step {}", step
+            );
+        }
+        // Node growth after churn keeps the partition aligned too: the new node
+        // must appear as its own singleton component.
+        let added = graph.add_node();
+        incremental.add_node();
+        prop_assert_eq!(incremental.component_size(added), 1);
+        prop_assert_eq!(incremental.partitions(), connected_components(&graph));
+    }
 }
